@@ -1,0 +1,86 @@
+// Ablation — the exponential-decay knob (Sec. III-C geometry):
+//   * how fast the allocation decays after a demand step-down, as a function
+//     of eps (the theory: rate (1 + C/eps)^(-a/b) per slot);
+//   * total cost vs eps on a step workload, exhibiting the valley that also
+//     appears in Fig. 6;
+//   * ROA vs greedy vs LCP on the same workload.
+#include <iostream>
+
+#include "core/single_resource.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace sora;
+  const auto scale = eval::EvalScale::from_env();
+  eval::print_banner("Ablation — decay behaviour vs eps", scale, 0);
+
+  // Step workload: high for 5 slots, then near-zero for 45.
+  core::SingleResourceInstance inst;
+  for (int t = 0; t < 5; ++t) inst.demand.push_back(8.0);
+  for (int t = 0; t < 45; ++t) inst.demand.push_back(0.05);
+  inst.price.assign(inst.demand.size(), 1.0);
+  inst.reconfig = 100.0;
+  inst.capacity = 10.0;
+
+  const std::vector<double> epsilons = {1e-3, 1e-2, 1e-1, 1.0, 10.0, 1e2};
+
+  // Decay traces.
+  util::CsvWriter traces([&] {
+    std::vector<std::string> header{"t", "demand"};
+    for (const double eps : epsilons)
+      header.push_back("eps_" + util::TablePrinter::fmt(eps, "%g"));
+    return header;
+  }());
+  std::vector<linalg::Vec> plans;
+  for (const double eps : epsilons) plans.push_back(core::single_roa(inst, eps));
+  for (std::size_t t = 0; t < inst.horizon(); ++t) {
+    std::vector<double> row{static_cast<double>(t), inst.demand[t]};
+    for (const auto& plan : plans) row.push_back(plan[t]);
+    traces.add_numeric_row(row);
+  }
+  eval::write_results_csv("ablation_decay_traces", traces);
+
+  // Half-life of the allocation after the step, per eps.
+  const double offline =
+      core::single_total_cost(inst, core::single_offline(inst));
+  util::TablePrinter table({"eps", "slots to halve", "ROA cost / OPT",
+                            "theory bound"});
+  util::CsvWriter csv({"eps", "half_life", "ratio", "bound"});
+  for (std::size_t i = 0; i < epsilons.size(); ++i) {
+    std::size_t half = 0;
+    for (std::size_t t = 5; t < inst.horizon(); ++t)
+      if (plans[i][t] <= 4.0) {
+        half = t - 4;
+        break;
+      }
+    const double ratio =
+        core::single_total_cost(inst, plans[i]) / offline;
+    const double bound = core::single_theoretical_ratio(inst, epsilons[i]);
+    table.add_numeric_row(util::TablePrinter::fmt(epsilons[i], "%g"),
+                          {static_cast<double>(half), ratio, bound}, "%.4g");
+    csv.add_numeric_row({epsilons[i], static_cast<double>(half), ratio,
+                         bound});
+  }
+  eval::emit("ablation_decay", table, csv);
+
+  // Policy comparison on the same instance.
+  util::TablePrinter comp({"policy", "cost / OPT"});
+  util::CsvWriter comp_csv({"policy", "ratio"});
+  const struct {
+    const char* name;
+    linalg::Vec plan;
+  } entries[] = {
+      {"greedy", core::single_greedy(inst)},
+      {"LCP", core::single_lcp(inst)},
+      {"ROA eps=1e-2", core::single_roa(inst, 1e-2)},
+      {"offline", core::single_offline(inst)},
+  };
+  for (const auto& entry : entries) {
+    const double ratio =
+        core::single_total_cost(inst, entry.plan) / offline;
+    comp.add_numeric_row(entry.name, {ratio}, "%.3f");
+    comp_csv.add_row({entry.name, std::to_string(ratio)});
+  }
+  eval::emit("ablation_policies", comp, comp_csv);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 10 — robustness to the prediction error rate (0% to 15%, window
+// w = 2). Paper's shape: RFHC/RRHC grow negligibly with the error while
+// FHC/RHC degrade much faster (~40% / ~20% at 15%).
+#include <iostream>
+
+#include "predictive_common.hpp"
+
+int main() {
+  using namespace sora;
+  const auto scale = eval::EvalScale::from_env();
+  const std::uint64_t seed = 20160704;
+  eval::print_banner("Fig. 10 — prediction error sweep (w = 2)", scale, seed);
+
+  const auto ctx = bench::make_predictive_context(scale, seed);
+  const double opt = ctx.offline_cost;
+  const std::vector<double> errors = {0.0, 0.025, 0.05, 0.075, 0.10, 0.125,
+                                      0.15};
+
+  util::TablePrinter table({"error", "FHC/OPT", "RHC/OPT", "RFHC/OPT",
+                            "RRHC/OPT", "ROA/OPT (no pred)"});
+  util::CsvWriter csv(
+      {"error_pct", "fhc", "rhc", "rfhc", "rrhc", "roa", "offline"});
+  for (std::size_t idx = 0; idx < errors.size(); ++idx) {
+    const auto c = bench::run_controllers(ctx, 2, errors[idx], 1000 + idx);
+    table.add_numeric_row(util::TablePrinter::fmt(100.0 * errors[idx],
+                                                  "%.1f%%"),
+                          {c.fhc / opt, c.rhc / opt, c.rfhc / opt,
+                           c.rrhc / opt, ctx.roa_cost / opt},
+                          "%.3f");
+    csv.add_numeric_row({errors[idx], c.fhc, c.rhc, c.rfhc, c.rrhc,
+                         ctx.roa_cost, opt});
+  }
+  eval::emit("fig10_error", table, csv);
+  return 0;
+}

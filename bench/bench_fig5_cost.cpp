@@ -1,0 +1,94 @@
+// Fig. 5 — total cost over time of the one-shot sequence, the regularized
+// online algorithm (ROA), and the offline optimum, for both workloads and
+// reconfiguration weights b in {10, 10^2, 10^3, 10^4} (eps = 10^-2, k = 1).
+//
+// Prints the end-of-horizon totals normalized by the offline optimum (so
+// offline = 1.0) and writes the full cumulative-cost curves to results/.
+// Paper's headline: the one-shot sequence degrades up to ~9x the optimum as
+// b grows, while ROA stays within ~3x.
+#include <iostream>
+
+#include "baselines/offline.hpp"
+#include "baselines/oneshot.hpp"
+#include "core/cost.hpp"
+#include "core/roa.hpp"
+#include "eval/report.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace sora;
+  const auto scale = eval::EvalScale::from_env();
+  const std::uint64_t seed = 20160704;
+  eval::print_banner("Fig. 5 — cost over time: one-shot vs ROA vs offline",
+                     scale, seed);
+
+  const std::vector<double> weights = {10.0, 1e2, 1e3, 1e4};
+  const std::vector<eval::Workload> workloads = {eval::Workload::kWikipedia,
+                                                 eval::Workload::kWorldCup};
+  struct Cell {
+    double greedy = 0.0, roa = 0.0, offline = 0.0;
+    std::vector<double> curve_greedy, curve_roa, curve_offline;
+  };
+  std::vector<Cell> cells(weights.size() * workloads.size());
+
+  util::parallel_for(0, cells.size(), [&](std::size_t idx) {
+    const std::size_t wi = idx % weights.size();
+    const std::size_t li = idx / weights.size();
+    eval::Scenario sc;
+    sc.workload = workloads[li];
+    sc.reconfig_weight = weights[wi];
+    sc.seed = seed;
+    const auto inst = eval::build_eval_instance(sc, scale);
+
+    core::RoaOptions roa_opts;
+    roa_opts.eps = roa_opts.eps_prime = 1e-2;
+    const auto roa = core::run_roa(inst, roa_opts);
+    const auto greedy = baselines::run_one_shot_sequence(inst);
+    const auto offline =
+        baselines::run_offline_optimum(inst, eval::offline_lp_options(scale));
+
+    Cell& cell = cells[idx];
+    cell.greedy = greedy.cost.total();
+    cell.roa = roa.cost.total();
+    cell.offline = offline.cost.total();
+    cell.curve_greedy = core::cumulative_cost(inst, greedy.trajectory);
+    cell.curve_roa = core::cumulative_cost(inst, roa.trajectory);
+    cell.curve_offline = core::cumulative_cost(inst, offline.trajectory);
+  });
+
+  util::TablePrinter table({"workload", "b", "one-shot / OPT", "ROA / OPT",
+                            "OPT (abs)"});
+  util::CsvWriter csv({"workload", "b", "oneshot_ratio", "roa_ratio",
+                       "offline_total", "oneshot_total", "roa_total"});
+  for (std::size_t li = 0; li < workloads.size(); ++li) {
+    for (std::size_t wi = 0; wi < weights.size(); ++wi) {
+      const Cell& cell = cells[li * weights.size() + wi];
+      table.add_row({eval::to_string(workloads[li]),
+                     util::TablePrinter::fmt(weights[wi], "%.0g"),
+                     util::TablePrinter::fmt(cell.greedy / cell.offline,
+                                             "%.2f"),
+                     util::TablePrinter::fmt(cell.roa / cell.offline, "%.2f"),
+                     util::TablePrinter::fmt(cell.offline, "%.4g")});
+      csv.add_row({eval::to_string(workloads[li]), std::to_string(weights[wi]),
+                   std::to_string(cell.greedy / cell.offline),
+                   std::to_string(cell.roa / cell.offline),
+                   std::to_string(cell.offline), std::to_string(cell.greedy),
+                   std::to_string(cell.roa)});
+    }
+  }
+  eval::emit("fig5_totals", table, csv);
+
+  // Cumulative curves for the b = 10^3 cells (the paper's headline panels).
+  for (std::size_t li = 0; li < workloads.size(); ++li) {
+    const Cell& cell = cells[li * weights.size() + 2];
+    util::CsvWriter curves({"hour", "oneshot", "roa", "offline"});
+    for (std::size_t t = 0; t < cell.curve_roa.size(); ++t)
+      curves.add_numeric_row({static_cast<double>(t), cell.curve_greedy[t],
+                              cell.curve_roa[t], cell.curve_offline[t]});
+    const std::string name =
+        std::string("fig5_curves_") + eval::to_string(workloads[li]);
+    const auto path = eval::write_results_csv(name, curves);
+    std::cout << "cumulative curves (b=1e3) written to " << path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 6 — the "actual" competitive ratio (ROA total / offline total) as a
+// function of the algorithm parameter eps in [1e-3, 1e3], per
+// reconfiguration weight b, for both workloads (k = 1).
+//
+// Paper's observations reproduced here: the ratio stays below ~3, has a
+// valley in eps, and b = 10^4 can show a SMALLER ratio than 10^3 because the
+// offline optimum itself grows.
+#include <iostream>
+
+#include "baselines/offline.hpp"
+#include "core/competitive.hpp"
+#include "core/roa.hpp"
+#include "eval/report.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace sora;
+  const auto scale = eval::EvalScale::from_env();
+  const std::uint64_t seed = 20160704;
+  eval::print_banner("Fig. 6 — actual competitive ratio vs eps", scale, seed);
+
+  const std::vector<double> epsilons = {1e-3, 1e-2, 1e-1, 1.0, 10.0, 1e2, 1e3};
+  const std::vector<double> weights = {10.0, 1e2, 1e3, 1e4};
+  const std::vector<eval::Workload> workloads = {eval::Workload::kWikipedia,
+                                                 eval::Workload::kWorldCup};
+
+  // Offline optima: one per (workload, b); ROA: one per (workload, b, eps).
+  std::vector<double> offline(workloads.size() * weights.size(), 0.0);
+  util::parallel_for(0, offline.size(), [&](std::size_t idx) {
+    eval::Scenario sc;
+    sc.workload = workloads[idx / weights.size()];
+    sc.reconfig_weight = weights[idx % weights.size()];
+    sc.seed = seed;
+    const auto inst = eval::build_eval_instance(sc, scale);
+    offline[idx] =
+        baselines::run_offline_optimum(inst, eval::offline_lp_options(scale))
+            .cost.total();
+  });
+
+  std::vector<double> roa(offline.size() * epsilons.size(), 0.0);
+  util::parallel_for(0, roa.size(), [&](std::size_t idx) {
+    const std::size_t ei = idx % epsilons.size();
+    const std::size_t rest = idx / epsilons.size();
+    eval::Scenario sc;
+    sc.workload = workloads[rest / weights.size()];
+    sc.reconfig_weight = weights[rest % weights.size()];
+    sc.seed = seed;
+    const auto inst = eval::build_eval_instance(sc, scale);
+    core::RoaOptions opts;
+    opts.eps = opts.eps_prime = epsilons[ei];
+    roa[idx] = core::run_roa(inst, opts).cost.total();
+  });
+
+  for (std::size_t li = 0; li < workloads.size(); ++li) {
+    std::vector<std::string> header{"b \\ eps"};
+    for (const double eps : epsilons)
+      header.push_back(util::TablePrinter::fmt(eps, "%.0e"));
+    util::TablePrinter table(header);
+    util::CsvWriter csv({"b", "eps", "ratio"});
+    for (std::size_t wi = 0; wi < weights.size(); ++wi) {
+      std::vector<double> row;
+      for (std::size_t ei = 0; ei < epsilons.size(); ++ei) {
+        const std::size_t rest = li * weights.size() + wi;
+        const double ratio = core::empirical_ratio(
+            roa[rest * epsilons.size() + ei], offline[rest]);
+        row.push_back(ratio);
+        csv.add_numeric_row({weights[wi], epsilons[ei], ratio});
+      }
+      table.add_numeric_row("b=" + util::TablePrinter::fmt(weights[wi], "%.0g"),
+                            row, "%.2f");
+    }
+    std::cout << "workload: " << eval::to_string(workloads[li]) << "\n";
+    eval::emit(std::string("fig6_ratio_") + eval::to_string(workloads[li]),
+               table, csv);
+  }
+  return 0;
+}

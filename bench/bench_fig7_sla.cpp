@@ -1,0 +1,59 @@
+// Fig. 7 — effect of the SLA size k (number of admissible tier-2 clouds per
+// tier-1 cloud) on the Wikipedia-like workload, b = 10^3, eps = 10^-2.
+// Compares the one-shot sequence, LCP-M, ROA, and the offline optimum.
+// Paper's trend: more SLA freedom moves ROA closer to the optimum, while
+// LCP-M's per-variable laziness cannot exploit the coupling.
+#include <iostream>
+
+#include "baselines/lcp_m.hpp"
+#include "baselines/offline.hpp"
+#include "baselines/oneshot.hpp"
+#include "core/roa.hpp"
+#include "eval/report.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace sora;
+  const auto scale = eval::EvalScale::from_env();
+  const std::uint64_t seed = 20160704;
+  eval::print_banner("Fig. 7 — SLA size k sweep", scale, seed);
+
+  const std::vector<std::size_t> ks = {1, 2, 3, 4};
+  struct Cell {
+    double greedy, lcp, roa, offline;
+  };
+  std::vector<Cell> cells(ks.size());
+
+  util::parallel_for(0, ks.size(), [&](std::size_t idx) {
+    eval::Scenario sc;
+    sc.workload = eval::Workload::kWikipedia;
+    sc.reconfig_weight = 1e3;
+    sc.sla_k = ks[idx];
+    sc.seed = seed;
+    const auto inst = eval::build_eval_instance(sc, scale);
+    core::RoaOptions roa_opts;
+    roa_opts.eps = roa_opts.eps_prime = 1e-2;
+    cells[idx].roa = core::run_roa(inst, roa_opts).cost.total();
+    cells[idx].greedy = baselines::run_one_shot_sequence(inst).cost.total();
+    cells[idx].lcp = baselines::run_lcp_m(inst).cost.total();
+    cells[idx].offline =
+        baselines::run_offline_optimum(inst, eval::offline_lp_options(scale))
+            .cost.total();
+  });
+
+  util::TablePrinter table({"k", "one-shot / OPT", "LCP-M / OPT", "ROA / OPT",
+                            "OPT (abs)"});
+  util::CsvWriter csv({"k", "oneshot_ratio", "lcpm_ratio", "roa_ratio",
+                       "offline_total"});
+  for (std::size_t idx = 0; idx < ks.size(); ++idx) {
+    const Cell& c = cells[idx];
+    table.add_numeric_row("k=" + std::to_string(ks[idx]),
+                          {c.greedy / c.offline, c.lcp / c.offline,
+                           c.roa / c.offline, c.offline},
+                          "%.3g");
+    csv.add_numeric_row({static_cast<double>(ks[idx]), c.greedy / c.offline,
+                         c.lcp / c.offline, c.roa / c.offline, c.offline});
+  }
+  eval::emit("fig7_sla", table, csv);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Seed sensitivity — error bars for the headline Fig. 5 comparison. The
+// paper's figures are single-trace runs; here each (workload, b) cell is
+// replicated across independent synthetic traces and price draws, reporting
+// mean / min / max of the one-shot and ROA cost ratios. The orderings
+// (one-shot degrades with b, ROA stays low) must — and do — hold across
+// every seed, not just the default one.
+#include <iostream>
+
+#include "baselines/offline.hpp"
+#include "baselines/oneshot.hpp"
+#include "core/roa.hpp"
+#include "eval/montecarlo.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace sora;
+  auto scale = eval::EvalScale::from_env();
+  const std::uint64_t seed = 20160704;
+  eval::print_banner("Seed sensitivity — Fig. 5 cells with error bars",
+                     scale, seed);
+  // Shorter horizon: each cell runs `seeds` full pipelines.
+  scale.horizon_wikipedia = std::min<std::size_t>(scale.horizon_wikipedia, 72);
+  const std::size_t seeds = 5;
+
+  util::TablePrinter table({"b", "metric", "mean", "min", "max", "stddev"});
+  util::CsvWriter csv({"b", "metric", "mean", "min", "max", "stddev"});
+  for (const double b : {100.0, 1000.0}) {
+    eval::Scenario sc;
+    sc.reconfig_weight = b;
+    sc.seed = seed;
+
+    const auto ratio_of = [&scale](const core::Instance& inst, bool roa) {
+      const double opt =
+          baselines::run_offline_optimum(inst,
+                                         eval::offline_lp_options(scale))
+              .cost.total();
+      core::RoaOptions opts;
+      opts.eps = opts.eps_prime = 1e-2;
+      const double cost =
+          roa ? core::run_roa(inst, opts).cost.total()
+              : baselines::run_one_shot_sequence(inst).cost.total();
+      return cost / opt;
+    };
+
+    const auto greedy_stats = eval::sweep_seeds(
+        sc, scale, seeds,
+        [&](const core::Instance& inst) { return ratio_of(inst, false); });
+    const auto roa_stats = eval::sweep_seeds(
+        sc, scale, seeds,
+        [&](const core::Instance& inst) { return ratio_of(inst, true); });
+
+    for (const auto& [name, stats] :
+         {std::pair<const char*, eval::SeedStats>{"one-shot/OPT",
+                                                  greedy_stats},
+          std::pair<const char*, eval::SeedStats>{"ROA/OPT", roa_stats}}) {
+      table.add_row({util::TablePrinter::fmt(b, "%.0g"), name,
+                     util::TablePrinter::fmt(stats.mean, "%.3f"),
+                     util::TablePrinter::fmt(stats.min, "%.3f"),
+                     util::TablePrinter::fmt(stats.max, "%.3f"),
+                     util::TablePrinter::fmt(stats.stddev, "%.3f")});
+      csv.add_row({std::to_string(b), name, std::to_string(stats.mean),
+                   std::to_string(stats.min), std::to_string(stats.max),
+                   std::to_string(stats.stddev)});
+    }
+  }
+  eval::emit("seed_sensitivity", table, csv);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Solver micro-benchmarks (google-benchmark): the numerical substrate's hot
+// paths — simplex and PDHG on covering LPs, the barrier IPM on a P2
+// subproblem, and the core linear-algebra kernels.
+#include <benchmark/benchmark.h>
+
+#include "cloudnet/instance.hpp"
+#include "core/p1_model.hpp"
+#include "core/p2_subproblem.hpp"
+#include "eval/scenarios.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/sparse.hpp"
+#include "solver/pdhg.hpp"
+#include "solver/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sora;
+
+solver::LpModel covering_lp(std::size_t vars, std::size_t rows,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  solver::LpBuilder b;
+  for (std::size_t j = 0; j < vars; ++j)
+    b.add_variable(0.0, 10.0, rng.uniform(0.5, 2.0));
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<solver::LinTerm> terms;
+    double reach = 0.0;
+    for (std::size_t j = 0; j < vars; ++j)
+      if (rng.uniform() < 0.3) {
+        terms.push_back({j, rng.uniform(0.1, 1.0)});
+        reach += terms.back().coeff * 10.0;
+      }
+    if (terms.empty()) {
+      terms.push_back({i % vars, 1.0});
+      reach = 10.0;
+    }
+    b.add_ge(terms, rng.uniform(0.0, 0.5 * reach));
+  }
+  return b.build();
+}
+
+void BM_SimplexCoveringLp(benchmark::State& state) {
+  const auto model = covering_lp(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    const auto sol = solver::solve_simplex(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_SimplexCoveringLp)->Arg(20)->Arg(60)->Arg(150);
+
+void BM_PdhgCoveringLp(benchmark::State& state) {
+  const auto model = covering_lp(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(0)), 7);
+  solver::PdhgOptions opts;
+  opts.eps_rel = 1e-5;
+  for (auto _ : state) {
+    const auto sol = solver::solve_pdhg(model, opts);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_PdhgCoveringLp)->Arg(20)->Arg(60)->Arg(150);
+
+void BM_P2Subproblem(benchmark::State& state) {
+  eval::EvalScale scale;  // reduced
+  eval::Scenario sc;
+  sc.reconfig_weight = 1e3;
+  sc.sla_k = static_cast<std::size_t>(state.range(0));
+  const auto inst = eval::build_eval_instance(sc, scale);
+  const auto prev = core::Allocation::zeros(inst.num_edges());
+  for (auto _ : state) {
+    const auto sol = core::solve_p2(inst, core::InputSeries::truth(inst), 0,
+                                    prev);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_P2Subproblem)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_OneShotLp(benchmark::State& state) {
+  eval::EvalScale scale;
+  eval::Scenario sc;
+  sc.sla_k = 2;
+  const auto inst = eval::build_eval_instance(sc, scale);
+  const auto prev = core::Allocation::zeros(inst.num_edges());
+  for (auto _ : state) {
+    const auto a =
+        core::solve_one_shot(inst, core::InputSeries::truth(inst), 0, prev);
+    benchmark::DoNotOptimize(a.x[0]);
+  }
+}
+BENCHMARK(BM_OneShotLp);
+
+void BM_SparseSpmv(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<linalg::Triplet> trip;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = 0; k < 8; ++k)
+      trip.push_back({r, rng.uniform_index(n), rng.normal()});
+  const auto a = linalg::SparseMatrix::from_triplets(n, n, trip);
+  linalg::Vec x(n, 1.0);
+  for (auto _ : state) {
+    auto y = a.multiply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nonzeros()));
+}
+BENCHMARK(BM_SparseSpmv)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Cholesky(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c <= r; ++c) {
+      const double v = rng.normal() * 0.1;
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  for (std::size_t r = 0; r < n; ++r) a(r, r) += static_cast<double>(n);
+  for (auto _ : state) {
+    auto chol = linalg::Cholesky::factor(a);
+    benchmark::DoNotOptimize(chol.has_value());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

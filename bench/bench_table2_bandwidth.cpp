@@ -1,0 +1,54 @@
+// Table II — tiered WAN bandwidth pricing, plus the tier distribution the
+// capacity-provisioning rule induces on the evaluation topology.
+#include <iostream>
+#include <map>
+
+#include "cloudnet/pricing.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace sora;
+  const auto scale = eval::EvalScale::from_env();
+  const std::uint64_t seed = 20160704;
+  eval::print_banner("Table II — bandwidth pricing", scale, seed);
+
+  util::TablePrinter tiers({"capacity (GB/month)", "price ($/GB)"});
+  util::CsvWriter csv({"up_to_gb", "price_usd_gb"});
+  for (const auto& tier : cloudnet::bandwidth_tiers()) {
+    const std::string cap = std::isfinite(tier.up_to_gb)
+                                ? "<= " + util::TablePrinter::fmt(
+                                              tier.up_to_gb, "%.0f")
+                                : "> 500";
+    tiers.add_row({cap, util::TablePrinter::fmt(tier.price_usd_gb, "%.3f")});
+    csv.add_numeric_row({tier.up_to_gb, tier.price_usd_gb});
+  }
+  eval::emit("table2_tiers", tiers, csv);
+
+  // Tier usage induced by the evaluation instance (per SLA k).
+  util::TablePrinter usage({"sla k", "edges", "min price", "mean price",
+                            "max price"});
+  util::CsvWriter usage_csv({"k", "edges", "min", "mean", "max"});
+  for (std::size_t k = 1; k <= 4; ++k) {
+    eval::Scenario sc;
+    sc.sla_k = k;
+    const auto inst = eval::build_eval_instance(sc, scale);
+    double lo = 1e300, hi = 0.0, sum = 0.0;
+    for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+      const double p = cloudnet::bandwidth_price_usd_gb(
+          inst.edge_capacity[e] * 40.0);
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+      sum += p;
+    }
+    const double mean = sum / inst.num_edges();
+    usage.add_numeric_row("k=" + std::to_string(k),
+                          {static_cast<double>(inst.num_edges()), lo, mean,
+                           hi},
+                          "%.4g");
+    usage_csv.add_numeric_row({static_cast<double>(k),
+                               static_cast<double>(inst.num_edges()), lo,
+                               mean, hi});
+  }
+  eval::emit("table2_usage", usage, usage_csv);
+  return 0;
+}

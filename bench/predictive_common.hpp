@@ -1,0 +1,58 @@
+// Shared driver for the prediction figures (Figs. 8-10): the Wikipedia-like
+// scenario with b = 10^3, eps = 10^-3, k = 1. The instance, the offline
+// optimum, and the prediction-free ROA reference are computed once; each
+// sweep point then runs only the four controllers.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/offline.hpp"
+#include "core/predictive.hpp"
+#include "core/roa.hpp"
+#include "eval/report.hpp"
+
+namespace sora::bench {
+
+struct PredictiveContext {
+  core::Instance instance;
+  double roa_cost = 0.0;      // prediction-free reference
+  double offline_cost = 0.0;  // normalization denominator
+};
+
+inline PredictiveContext make_predictive_context(const eval::EvalScale& scale,
+                                                 std::uint64_t seed) {
+  eval::Scenario sc;
+  sc.workload = eval::Workload::kWikipedia;
+  sc.reconfig_weight = 1e3;
+  sc.sla_k = 1;
+  sc.seed = seed;
+  PredictiveContext ctx{eval::build_eval_instance(sc, scale), 0.0, 0.0};
+  core::RoaOptions roa;
+  roa.eps = roa.eps_prime = 1e-3;
+  ctx.roa_cost = core::run_roa(ctx.instance, roa).cost.total();
+  ctx.offline_cost = baselines::run_offline_optimum(
+                         ctx.instance, eval::offline_lp_options(scale))
+                         .cost.total();
+  return ctx;
+}
+
+struct ControllerCosts {
+  double fhc, rhc, rfhc, rrhc;
+};
+
+inline ControllerCosts run_controllers(const PredictiveContext& ctx,
+                                       std::size_t window, double error_pct,
+                                       std::uint64_t noise_seed) {
+  core::ControlOptions opts;
+  opts.window = window;
+  opts.prediction = {error_pct, noise_seed};
+  opts.roa.eps = opts.roa.eps_prime = 1e-3;
+  ControllerCosts out{};
+  out.fhc = core::run_fhc(ctx.instance, opts).cost.total();
+  out.rhc = core::run_rhc(ctx.instance, opts).cost.total();
+  out.rfhc = core::run_rfhc(ctx.instance, opts).cost.total();
+  out.rrhc = core::run_rrhc(ctx.instance, opts).cost.total();
+  return out;
+}
+
+}  // namespace sora::bench

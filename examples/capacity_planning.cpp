@@ -1,0 +1,67 @@
+// Scenario example: capacity planning with the service-replay simulator.
+// Sweeps the provisioning margin (how much headroom capacities have over the
+// peak workload) and shows the operator's tradeoff: a tighter margin lowers
+// the cost of the online policy but leaves less room for the regularized
+// hold-level behaviour; replay metrics (utilization, over-provisioning)
+// quantify both sides. Noisy planning is included to show when drops appear.
+//
+//   $ ./examples/capacity_planning [--hours N] [--error PCT]
+#include <cstdio>
+#include <iostream>
+
+#include "cloudnet/instance.hpp"
+#include "cloudnet/workload.hpp"
+#include "core/predictive.hpp"
+#include "core/roa.hpp"
+#include "eval/replay.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sora;
+  const auto opts = util::Options::parse(argc, argv, {"hours", "error"});
+  const std::size_t hours =
+      static_cast<std::size_t>(opts.get_int("hours", 60));
+  const double error = opts.get_double("error", 0.10);
+
+  std::printf("capacity planning sweep (%zu h, %0.0f%% forecast noise)\n\n",
+              hours, 100.0 * error);
+  std::printf("%8s | %12s %9s %9s | %12s %8s %10s\n", "margin",
+              "ROA cost", "util(x)", "overprov", "RHC(noisy)", "drop%",
+              "SLA-slots");
+
+  for (const double margin : {1.10, 1.25, 1.50, 2.00}) {
+    util::Rng rng(11);
+    const auto trace = cloudnet::wikipedia_like(hours, rng);
+    cloudnet::InstanceConfig cfg;
+    cfg.num_tier2 = 4;
+    cfg.num_tier1 = 8;
+    cfg.sla_k = 2;
+    cfg.capacity_margin = margin;
+    cfg.reconfig_weight = 300.0;
+    cfg.seed = 11;
+    const core::Instance inst = cloudnet::build_instance(cfg, trace);
+
+    const auto roa = core::run_roa(inst);
+    const auto roa_replay = eval::replay_trajectory(inst, roa.trajectory);
+
+    core::ControlOptions control;
+    control.window = 3;
+    control.prediction = {error, 77};
+    const auto rhc = core::run_rhc(inst, control);
+    const auto rhc_replay = eval::replay_trajectory(inst, rhc.trajectory);
+
+    std::printf("%8.2f | %12.1f %9.3f %9.3f | %12.1f %7.3f%% %10zu\n",
+                margin, roa.cost.total(),
+                roa_replay.mean_tier2_utilization,
+                roa_replay.overprovision_factor, rhc.cost.total(),
+                100.0 * rhc_replay.drop_rate, rhc_replay.violation_slots);
+  }
+
+  std::printf(
+      "\nReading: higher margins cost more head-room but let the online\n"
+      "policy hold capacity through dips (lower utilization, higher\n"
+      "over-provisioning). The noisy receding-horizon planner never drops\n"
+      "demand because each slot is repaired against the true workload.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Scenario example: a week of diurnal web traffic on the full 18x48 US
+// topology (the paper's Sec. V setting), comparing how each policy tracks
+// the workload. Prints an hourly log of aggregate demand vs the aggregate
+// tier-2 allocation chosen by ROA, exposing the follow-up/exponential-decay
+// behaviour of Sec. III-C.
+//
+//   $ ./examples/wikipedia_week [--b WEIGHT] [--eps EPS] [--k K]
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/oneshot.hpp"
+#include "cloudnet/instance.hpp"
+#include "cloudnet/workload.hpp"
+#include "core/cost.hpp"
+#include "core/roa.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sora;
+  const auto opts = util::Options::parse(argc, argv, {"b", "eps", "k"});
+  const double b = opts.get_double("b", 1000.0);
+  const double eps = opts.get_double("eps", 1e-2);
+  const std::size_t k = static_cast<std::size_t>(opts.get_int("k", 1));
+
+  util::Rng rng(7);
+  const auto trace = cloudnet::wikipedia_like(168, rng);  // one week
+
+  cloudnet::InstanceConfig cfg;  // full paper topology
+  cfg.num_tier2 = 18;
+  cfg.num_tier1 = 48;
+  cfg.sla_k = k;
+  cfg.reconfig_weight = b;
+  cfg.seed = 7;
+  const core::Instance inst = cloudnet::build_instance(cfg, trace);
+
+  std::cout << "one week, 18 core clouds x 48 edge clouds, k=" << k
+            << ", b=" << b << ", eps=" << eps << "\n";
+
+  core::RoaOptions roa_opts;
+  roa_opts.eps = roa_opts.eps_prime = eps;
+  const auto roa = core::run_roa(inst, roa_opts);
+  const auto greedy = baselines::run_one_shot_sequence(inst);
+
+  std::printf("\n%5s %10s %12s %12s\n", "hour", "demand", "ROA alloc",
+              "greedy alloc");
+  for (std::size_t t = 0; t < inst.horizon; t += 6) {
+    const auto roa_totals =
+        core::tier2_totals(inst, roa.trajectory.slots[t].x);
+    const auto greedy_totals =
+        core::tier2_totals(inst, greedy.trajectory.slots[t].x);
+    std::printf("%5zu %10.2f %12.2f %12.2f\n", t, inst.total_demand(t),
+                linalg::sum(roa_totals), linalg::sum(greedy_totals));
+  }
+
+  std::cout << "\ntotals: ROA " << roa.cost.total() << " (reconfig "
+            << roa.cost.reconfiguration << ")  vs greedy "
+            << greedy.cost.total() << " (reconfig "
+            << greedy.cost.reconfiguration << ")\n"
+            << "ROA spent " << roa.solve_seconds << "s ("
+            << roa.newton_steps << " Newton steps across " << inst.horizon
+            << " slots)\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// LCP-M — the multi-resource adaptation of Lazy Capacity Provisioning
+// (Lin et al. [12]) used as a comparison point in the paper's Fig. 7.
+//
+// At every slot, per decision variable, compute a lazy band:
+//   lower target  = the one-shot optimum that ignores reconfiguration
+//                   (cheapest instantaneous cover),
+//   upper target  = the optimum of the one-shot problem with the
+//                   reconfiguration cost reversed in time (charging
+//                   decreases), which stays high while operating prices are
+//                   below the reconfiguration price,
+// then move only when the previous decision falls outside the band:
+//   x_t = max(lower, min(x_{t-1}, upper)) per variable.
+//
+// The paper reports LCP-M performs poorly in the multi-tier setting because
+// the per-variable lazy principle ignores the coupling across clouds; this
+// implementation reproduces that behaviour.
+#pragma once
+
+#include "baselines/oneshot.hpp"
+
+namespace sora::baselines {
+
+BaselineRun run_lcp_m(const core::Instance& inst,
+                      const solver::LpSolveOptions& lp = {});
+
+}  // namespace sora::baselines

@@ -1,0 +1,19 @@
+#include "baselines/offline.hpp"
+
+#include "core/cost.hpp"
+#include "core/p1_model.hpp"
+#include "util/timer.hpp"
+
+namespace sora::baselines {
+
+BaselineRun run_offline_optimum(const core::Instance& inst,
+                                const solver::LpSolveOptions& lp) {
+  util::Timer timer;
+  BaselineRun run;
+  run.trajectory = core::solve_offline(inst, lp);
+  run.cost = core::total_cost(inst, run.trajectory);
+  run.solve_seconds = timer.seconds();
+  return run;
+}
+
+}  // namespace sora::baselines

@@ -1,0 +1,13 @@
+// Offline optimum wrapper: solves the full-horizon P1 LP (the denominator of
+// every competitive-ratio figure). Picks the simplex for small instances and
+// PDHG for paper-scale ones; REPRO-scale runs can force either.
+#pragma once
+
+#include "baselines/oneshot.hpp"
+
+namespace sora::baselines {
+
+BaselineRun run_offline_optimum(const core::Instance& inst,
+                                const solver::LpSolveOptions& lp = {});
+
+}  // namespace sora::baselines

@@ -1,0 +1,24 @@
+#include "baselines/oneshot.hpp"
+
+#include "core/cost.hpp"
+#include "core/p1_model.hpp"
+#include "util/timer.hpp"
+
+namespace sora::baselines {
+
+BaselineRun run_one_shot_sequence(const core::Instance& inst,
+                                  const solver::LpSolveOptions& lp) {
+  util::Timer timer;
+  BaselineRun run;
+  core::Allocation prev = core::Allocation::zeros(inst.num_edges());
+  const auto inputs = core::InputSeries::truth(inst);
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    prev = core::solve_one_shot(inst, inputs, t, prev, lp);
+    run.trajectory.slots.push_back(prev);
+  }
+  run.cost = core::total_cost(inst, run.trajectory);
+  run.solve_seconds = timer.seconds();
+  return run;
+}
+
+}  // namespace sora::baselines

@@ -1,0 +1,20 @@
+// The "sequence of greedy one-shot optimizations" baseline (paper Sec. V):
+// at every slot, solve the one-slot slice of P1 given the previous decision.
+// Equivalent to FHC/RHC with window 1.
+#pragma once
+
+#include "core/types.hpp"
+#include "solver/lp_solve.hpp"
+
+namespace sora::baselines {
+
+struct BaselineRun {
+  core::Trajectory trajectory;
+  core::CostBreakdown cost;
+  double solve_seconds = 0.0;
+};
+
+BaselineRun run_one_shot_sequence(const core::Instance& inst,
+                                  const solver::LpSolveOptions& lp = {});
+
+}  // namespace sora::baselines

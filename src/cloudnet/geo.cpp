@@ -1,0 +1,55 @@
+#include "cloudnet/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace sora::cloudnet {
+
+double haversine_km(const Site& a, const Site& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  const double deg = std::numbers::pi / 180.0;
+  const double lat1 = a.latitude * deg;
+  const double lat2 = b.latitude * deg;
+  const double dlat = (b.latitude - a.latitude) * deg;
+  const double dlon = (b.longitude - a.longitude) * deg;
+  const double s = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2.0) *
+                       std::sin(dlon / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, s)));
+}
+
+std::vector<std::vector<std::size_t>> k_nearest(const std::vector<Site>& from,
+                                                const std::vector<Site>& to,
+                                                std::size_t k) {
+  SORA_CHECK(!to.empty());
+  k = std::min(k, to.size());
+  SORA_CHECK(k > 0);
+  std::vector<std::vector<std::size_t>> result(from.size());
+  for (std::size_t f = 0; f < from.size(); ++f) {
+    std::vector<std::pair<double, std::size_t>> dist(to.size());
+    for (std::size_t t = 0; t < to.size(); ++t)
+      dist[t] = {haversine_km(from[f], to[t]), t};
+    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+    result[f].reserve(k);
+    for (std::size_t i = 0; i < k; ++i) result[f].push_back(dist[i].second);
+  }
+  return result;
+}
+
+std::vector<Site> spread_subset(const std::vector<Site>& sites,
+                                std::size_t count) {
+  if (count == 0 || count >= sites.size()) return sites;
+  std::vector<Site> subset;
+  subset.reserve(count);
+  // Evenly spaced positions across the list.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t idx = (i * sites.size()) / count;
+    subset.push_back(sites[idx]);
+  }
+  return subset;
+}
+
+}  // namespace sora::cloudnet

@@ -1,0 +1,40 @@
+// Geography: cloud site coordinates, great-circle distances, and the paper's
+// SLA construction (each tier-1 cloud may use its k geographically closest
+// tier-2 clouds).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sora::cloudnet {
+
+struct Site {
+  std::string name;
+  std::string state;  // two-letter code
+  double latitude;    // degrees
+  double longitude;   // degrees
+};
+
+/// The 18 AT&T-era North American data-center metros used as tier-2 clouds
+/// (locations approximated from public metro coordinates; see DESIGN.md).
+const std::vector<Site>& att_tier2_sites();
+
+/// The 48 continental US state capitals used as tier-1 (edge) clouds.
+const std::vector<Site>& state_capital_sites();
+
+/// Great-circle distance in kilometres.
+double haversine_km(const Site& a, const Site& b);
+
+/// For each `from` site, the indices of its k closest `to` sites (ascending
+/// distance). k is clamped to to.size().
+std::vector<std::vector<std::size_t>> k_nearest(const std::vector<Site>& from,
+                                                const std::vector<Site>& to,
+                                                std::size_t k);
+
+/// Evenly spread subset of `count` sites (stride selection preserves the
+/// geographic diversity of the full list). count == 0 or >= size returns all.
+std::vector<Site> spread_subset(const std::vector<Site>& sites,
+                                std::size_t count);
+
+}  // namespace sora::cloudnet

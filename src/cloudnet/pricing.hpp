@@ -1,0 +1,58 @@
+// Resource pricing per the paper's evaluation section:
+//
+// * Electricity (tier-2 allocation price a_it): hourly real-time market
+//   prices synthesized as Gaussians with per-RTO mean/sd (Table I). Sites
+//   without an hourly real-time market get a constant price equal to the
+//   mean of the geographically closest market.
+// * WAN bandwidth (network allocation price c_ij): Amazon-EC2-style tiered
+//   $/GB by provisioned capacity (Table II); constant over time.
+//
+// Prices are also exposed normalized (mean ~ 1) so that the reconfiguration
+// weight b is interpretable as "b times the typical operating price", as in
+// the paper's control-knob section.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloudnet/geo.hpp"
+#include "util/rng.hpp"
+
+namespace sora::cloudnet {
+
+struct ElectricityMarket {
+  std::string rto;      // regional transmission organization
+  double mean_usd_mwh;  // Table I mean
+  double sd_usd_mwh;    // Table I standard deviation
+};
+
+/// Table I (paper) plus estimated rows for the RTOs the paper's table clips
+/// (ERCOT, MISO); see DESIGN.md for the substitution note.
+const std::vector<ElectricityMarket>& electricity_markets();
+
+/// Market serving a site, if the site's state has an hourly real-time
+/// market (paper: PJM/CAISO/NYISO/ISONE + our ERCOT/MISO rows).
+std::optional<ElectricityMarket> market_for_state(const std::string& state);
+
+/// Hourly electricity price series for a site: Gaussian draws (floored at
+/// a small positive price) when the site has a market; otherwise a constant
+/// equal to the nearest market site's mean. `all_sites` supplies the
+/// geography for the nearest-market rule.
+std::vector<double> electricity_price_series(const Site& site,
+                                             const std::vector<Site>& all_sites,
+                                             std::size_t hours,
+                                             util::Rng& rng);
+
+struct BandwidthTier {
+  double up_to_gb;      // tier upper edge (capacity, GB/month)
+  double price_usd_gb;  // $/GB
+};
+
+/// Table II.
+const std::vector<BandwidthTier>& bandwidth_tiers();
+
+/// $/GB for a provisioned capacity (larger capacity -> cheaper tier).
+double bandwidth_price_usd_gb(double capacity_gb_per_month);
+
+}  // namespace sora::cloudnet

@@ -1,0 +1,86 @@
+// Embedded site tables. Coordinates are public metro/capital coordinates
+// rounded to two decimals — the SLA construction only uses relative
+// distances, so this precision is more than enough.
+#include "cloudnet/geo.hpp"
+
+namespace sora::cloudnet {
+
+const std::vector<Site>& att_tier2_sites() {
+  static const std::vector<Site> sites = {
+      {"Ashburn", "VA", 39.04, -77.49},
+      {"Atlanta", "GA", 33.75, -84.39},
+      {"Boston", "MA", 42.36, -71.06},
+      {"Chicago", "IL", 41.88, -87.63},
+      {"Dallas", "TX", 32.78, -96.80},
+      {"Denver", "CO", 39.74, -104.99},
+      {"Houston", "TX", 29.76, -95.37},
+      {"Los Angeles", "CA", 34.05, -118.24},
+      {"Miami", "FL", 25.76, -80.19},
+      {"Nashville", "TN", 36.16, -86.78},
+      {"New York", "NY", 40.71, -74.01},
+      {"Phoenix", "AZ", 33.45, -112.07},
+      {"San Diego", "CA", 32.72, -117.16},
+      {"San Francisco", "CA", 37.77, -122.42},
+      {"San Jose", "CA", 37.34, -121.89},
+      {"Seattle", "WA", 47.61, -122.33},
+      {"St. Louis", "MO", 38.63, -90.20},
+      {"Washington", "DC", 38.91, -77.04},
+  };
+  return sites;
+}
+
+const std::vector<Site>& state_capital_sites() {
+  static const std::vector<Site> sites = {
+      {"Montgomery", "AL", 32.38, -86.30},
+      {"Phoenix", "AZ", 33.45, -112.07},
+      {"Little Rock", "AR", 34.75, -92.29},
+      {"Sacramento", "CA", 38.58, -121.49},
+      {"Denver", "CO", 39.74, -104.99},
+      {"Hartford", "CT", 41.76, -72.68},
+      {"Dover", "DE", 39.16, -75.52},
+      {"Tallahassee", "FL", 30.44, -84.28},
+      {"Atlanta", "GA", 33.75, -84.39},
+      {"Boise", "ID", 43.62, -116.20},
+      {"Springfield", "IL", 39.80, -89.64},
+      {"Indianapolis", "IN", 39.77, -86.16},
+      {"Des Moines", "IA", 41.59, -93.62},
+      {"Topeka", "KS", 39.05, -95.68},
+      {"Frankfort", "KY", 38.20, -84.87},
+      {"Baton Rouge", "LA", 30.45, -91.19},
+      {"Augusta", "ME", 44.31, -69.78},
+      {"Annapolis", "MD", 38.98, -76.49},
+      {"Boston", "MA", 42.36, -71.06},
+      {"Lansing", "MI", 42.73, -84.56},
+      {"St. Paul", "MN", 44.95, -93.09},
+      {"Jackson", "MS", 32.30, -90.18},
+      {"Jefferson City", "MO", 38.58, -92.17},
+      {"Helena", "MT", 46.59, -112.04},
+      {"Lincoln", "NE", 40.81, -96.70},
+      {"Carson City", "NV", 39.16, -119.77},
+      {"Concord", "NH", 43.21, -71.54},
+      {"Trenton", "NJ", 40.22, -74.76},
+      {"Santa Fe", "NM", 35.69, -105.94},
+      {"Albany", "NY", 42.65, -73.75},
+      {"Raleigh", "NC", 35.78, -78.64},
+      {"Bismarck", "ND", 46.81, -100.78},
+      {"Columbus", "OH", 39.96, -83.00},
+      {"Oklahoma City", "OK", 35.47, -97.52},
+      {"Salem", "OR", 44.94, -123.04},
+      {"Harrisburg", "PA", 40.26, -76.88},
+      {"Providence", "RI", 41.82, -71.41},
+      {"Columbia", "SC", 34.00, -81.03},
+      {"Pierre", "SD", 44.37, -100.35},
+      {"Nashville", "TN", 36.16, -86.78},
+      {"Austin", "TX", 30.27, -97.74},
+      {"Salt Lake City", "UT", 40.76, -111.89},
+      {"Montpelier", "VT", 44.26, -72.58},
+      {"Richmond", "VA", 37.54, -77.44},
+      {"Olympia", "WA", 47.04, -122.90},
+      {"Charleston", "WV", 38.35, -81.63},
+      {"Madison", "WI", 43.07, -89.40},
+      {"Cheyenne", "WY", 41.14, -104.82},
+  };
+  return sites;
+}
+
+}  // namespace sora::cloudnet

@@ -1,0 +1,181 @@
+#include "cloudnet/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace sora::cloudnet {
+
+double WorkloadTrace::peak() const {
+  double p = 0.0;
+  for (double v : demand) p = std::max(p, v);
+  return p;
+}
+
+double WorkloadTrace::mean() const {
+  if (demand.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : demand) s += v;
+  return s / static_cast<double>(demand.size());
+}
+
+void normalize_peak(WorkloadTrace& trace, double new_peak) {
+  const double p = trace.peak();
+  SORA_CHECK_MSG(p > 0.0, "cannot normalize an all-zero trace");
+  const double f = new_peak / p;
+  for (double& v : trace.demand) v *= f;
+}
+
+namespace {
+
+std::vector<double> diurnal_base(std::size_t hours, util::Rng& rng,
+                                 const DiurnalParams& p) {
+  std::vector<double> series(hours);
+  double ar = 0.0;
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (std::size_t t = 0; t < hours; ++t) {
+    const double daily =
+        std::cos(two_pi * (static_cast<double>(t) - p.peak_hour) / 24.0);
+    const double weekly = std::cos(two_pi * static_cast<double>(t) / 168.0);
+    ar = p.noise_rho * ar + rng.normal(0.0, p.noise_sd);
+    double v = p.base *
+               (1.0 + p.daily_amplitude * daily + p.weekly_amplitude * weekly +
+                ar);
+    series[t] = std::max(v, 0.05 * p.base);  // demand never quite vanishes
+  }
+  return series;
+}
+
+}  // namespace
+
+WorkloadTrace wikipedia_like(std::size_t hours, util::Rng& rng,
+                             const DiurnalParams& params) {
+  WorkloadTrace trace;
+  trace.name = "wikipedia-like";
+  trace.demand = diurnal_base(hours, rng, params);
+  normalize_peak(trace);
+  return trace;
+}
+
+WorkloadTrace worldcup_like(std::size_t hours, util::Rng& rng,
+                            const DiurnalParams& diurnal,
+                            const FlashCrowdParams& flash) {
+  WorkloadTrace trace;
+  trace.name = "worldcup-like";
+  trace.demand = diurnal_base(hours, rng, diurnal);
+
+  // Poisson-ish spike arrivals: each hour starts a flash crowd with
+  // probability events/100. The multiplier attacks within one hour and
+  // decays exponentially.
+  const double p_event = flash.events_per_100h / 100.0;
+  std::vector<double> multiplier(hours, 1.0);
+  for (std::size_t t = 0; t < hours; ++t) {
+    if (rng.uniform() >= p_event) continue;
+    const double amp = std::min(
+        flash.max_multiplier,
+        1.0 + flash.pareto_scale *
+                  (rng.pareto(flash.pareto_alpha, 1.0) - 1.0 + 0.5));
+    for (std::size_t u = t; u < hours; ++u) {
+      const double age = static_cast<double>(u - t);
+      const double m = 1.0 + (amp - 1.0) * std::exp(-age / flash.decay_hours);
+      multiplier[u] = std::max(multiplier[u], m);
+      if (m < 1.02) break;
+    }
+  }
+  for (std::size_t t = 0; t < hours; ++t) trace.demand[t] *= multiplier[t];
+  normalize_peak(trace);
+  return trace;
+}
+
+WorkloadTrace v_shape(double high, double low, std::size_t down_hours,
+                      std::size_t up_hours) {
+  SORA_CHECK(high > low && low > 0.0);
+  SORA_CHECK(down_hours >= 1 && up_hours >= 1);
+  WorkloadTrace trace;
+  trace.name = "v-shape";
+  trace.demand.reserve(down_hours + up_hours + 1);
+  for (std::size_t t = 0; t <= down_hours; ++t) {
+    const double f = static_cast<double>(t) / static_cast<double>(down_hours);
+    trace.demand.push_back(high + (low - high) * f);
+  }
+  for (std::size_t t = 1; t <= up_hours; ++t) {
+    const double f = static_cast<double>(t) / static_cast<double>(up_hours);
+    trace.demand.push_back(low + (high - low) * f);
+  }
+  return trace;
+}
+
+WorkloadTrace step_trace(double high, double low, std::size_t high_hours,
+                         std::size_t total_hours) {
+  SORA_CHECK(high > 0.0 && low > 0.0 && high_hours <= total_hours);
+  WorkloadTrace trace;
+  trace.name = "step";
+  trace.demand.assign(total_hours, low);
+  for (std::size_t t = 0; t < high_hours; ++t) trace.demand[t] = high;
+  return trace;
+}
+
+WorkloadTrace sawtooth_trace(double high, double low, std::size_t period,
+                             std::size_t total_hours) {
+  SORA_CHECK(high > low && low > 0.0 && period >= 2);
+  WorkloadTrace trace;
+  trace.name = "sawtooth";
+  trace.demand.resize(total_hours);
+  for (std::size_t t = 0; t < total_hours; ++t) {
+    const std::size_t phase = t % period;
+    const std::size_t half = period / 2;
+    const double f = phase < half
+                         ? static_cast<double>(phase) / half
+                         : static_cast<double>(period - phase) /
+                               (period - half);
+    trace.demand[t] = low + (high - low) * (1.0 - f);
+  }
+  return trace;
+}
+
+TraceStats trace_stats(const WorkloadTrace& trace) {
+  TraceStats s;
+  if (trace.demand.empty()) return s;
+  s.peak = trace.peak();
+  s.mean = trace.mean();
+  auto sorted = trace.demand;
+  std::sort(sorted.begin(), sorted.end());
+  s.p95 = sorted[static_cast<std::size_t>(0.95 * (sorted.size() - 1))];
+  s.burstiness = s.mean > 0.0 ? s.peak / s.mean : 0.0;
+
+  std::size_t ramp = 0;
+  for (std::size_t t = 1; t < trace.hours(); ++t) {
+    ramp = trace.demand[t] < trace.demand[t - 1] ? ramp + 1 : 0;
+    s.max_ramp_down = std::max(s.max_ramp_down, ramp);
+  }
+
+  if (trace.hours() > 24) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t t = 0; t + 24 < trace.hours(); ++t)
+      num += (trace.demand[t] - s.mean) * (trace.demand[t + 24] - s.mean);
+    for (std::size_t t = 0; t < trace.hours(); ++t)
+      den += (trace.demand[t] - s.mean) * (trace.demand[t] - s.mean);
+    s.lag24_autocorr = den > 0.0 ? num / den : 0.0;
+  }
+  return s;
+}
+
+WorkloadTrace load_csv_trace(const std::string& path) {
+  const auto table = util::read_csv_file(path);
+  SORA_CHECK_MSG(table.has_value(), "cannot open trace file " + path);
+  WorkloadTrace trace;
+  trace.name = path;
+  for (const auto& row : table->rows) {
+    SORA_CHECK_MSG(!row.empty(), "empty CSV row in " + path);
+    // Single column: demand; two columns: hour,demand (take the last cell).
+    trace.demand.push_back(std::strtod(row.back().c_str(), nullptr));
+  }
+  SORA_CHECK_MSG(!trace.demand.empty(), "no rows in trace file " + path);
+  normalize_peak(trace);
+  return trace;
+}
+
+}  // namespace sora::cloudnet

@@ -1,0 +1,96 @@
+// Workload trace generation.
+//
+// The paper evaluates on the Wikipedia October-2007 trace (500 h, regular
+// diurnal dynamics) and the WorldCup-98 trace (600 bursty hours). Those
+// archives are not redistributable here, so we synthesize traces with the
+// same qualitative structure (see DESIGN.md substitution table):
+//
+// * wikipedia_like: daily + weekly harmonics around a base level with mild
+//   AR(1) noise — smooth ramp-ups/ramp-downs of many hours, the regime in
+//   which the paper's online algorithm shines.
+// * worldcup_like: the same diurnal base plus heavy-tailed "match-day" flash
+//   crowds (Pareto amplitudes, fast attack / exponential decay) — the large
+//   spike regime of Fig. 4b.
+//
+// Traces are normalized to peak 1.0; the instance builder scales capacities
+// from the peak exactly as the paper's provisioning rule does.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sora::cloudnet {
+
+struct WorkloadTrace {
+  std::vector<double> demand;  // one value per hour, normalized peak == 1.0
+  std::string name;
+
+  std::size_t hours() const { return demand.size(); }
+  double peak() const;
+  double mean() const;
+};
+
+struct DiurnalParams {
+  double base = 1.0;              // carrier level before normalization
+  double daily_amplitude = 0.40;  // relative swing of the 24 h harmonic
+  double weekly_amplitude = 0.12; // relative swing of the 168 h harmonic
+  double noise_sd = 0.03;         // AR(1) innovation scale (relative)
+  double noise_rho = 0.7;         // AR(1) coefficient
+  double peak_hour = 20.0;        // local hour of the daily peak
+};
+
+struct FlashCrowdParams {
+  double events_per_100h = 2.5;   // expected spike arrivals per 100 hours
+  double pareto_alpha = 1.4;      // amplitude tail index
+  double pareto_scale = 1.5;      // minimum spike multiplier - 1
+  double max_multiplier = 8.0;    // cap on the spike multiplier
+  double decay_hours = 4.0;       // exponential decay constant after attack
+};
+
+/// Regular diurnal trace (Wikipedia-like).
+WorkloadTrace wikipedia_like(std::size_t hours, util::Rng& rng,
+                             const DiurnalParams& params = {});
+
+/// Bursty trace (WorldCup-like): diurnal base + flash crowds.
+WorkloadTrace worldcup_like(std::size_t hours, util::Rng& rng,
+                            const DiurnalParams& diurnal = {},
+                            const FlashCrowdParams& flash = {});
+
+/// Piecewise V-shaped workload used by the worst-case constructions of
+/// Lemma 2 / Theorems 2-3: descends from `high` to `low` over `down_hours`,
+/// then climbs back to `high` over `up_hours`.
+WorkloadTrace v_shape(double high, double low, std::size_t down_hours,
+                      std::size_t up_hours);
+
+/// Step workload: `high` for the first `high_hours`, then `low` — the
+/// canonical decay-ablation input.
+WorkloadTrace step_trace(double high, double low, std::size_t high_hours,
+                         std::size_t total_hours);
+
+/// Sawtooth: linear ramps between `low` and `high` with the given period —
+/// stresses repeated ramp-down handling (Theorem 2's repeated-valley regime).
+WorkloadTrace sawtooth_trace(double high, double low, std::size_t period,
+                             std::size_t total_hours);
+
+/// Load a single-column (or "hour,demand") CSV; values normalized to peak 1.
+/// Throws CheckError if the file is missing or empty.
+WorkloadTrace load_csv_trace(const std::string& path);
+
+/// Rescale so the maximum equals `new_peak`.
+void normalize_peak(WorkloadTrace& trace, double new_peak = 1.0);
+
+/// Shape statistics used by the workload characterization (Fig. 4).
+struct TraceStats {
+  double peak = 0.0;
+  double mean = 0.0;
+  double p95 = 0.0;
+  double burstiness = 0.0;        // peak / mean
+  double lag24_autocorr = 0.0;    // diurnal signature
+  std::size_t max_ramp_down = 0;  // longest monotone decline (hours)
+};
+TraceStats trace_stats(const WorkloadTrace& trace);
+
+}  // namespace sora::cloudnet

@@ -1,0 +1,33 @@
+#include "core/competitive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/regularizer.hpp"
+#include "util/check.hpp"
+
+namespace sora::core {
+
+double theoretical_ratio(const Instance& inst, double eps, double eps_prime) {
+  SORA_CHECK(eps > 0.0 && eps_prime > 0.0);
+  double c_eps = 0.0;
+  for (double cap : inst.tier2_capacity)
+    c_eps = std::max(c_eps, (cap + eps) * regularizer_eta(cap, eps));
+  double b_eps = 0.0;
+  for (double cap : inst.edge_capacity)
+    b_eps = std::max(b_eps, (cap + eps_prime) * regularizer_eta(cap, eps_prime));
+  double d_eps = 0.0;
+  if (inst.has_tier1()) {
+    for (double cap : inst.tier1_capacity)
+      d_eps = std::max(d_eps, (cap + eps) * regularizer_eta(cap, eps));
+  }
+  return 1.0 +
+         static_cast<double>(inst.num_tier2()) * (c_eps + b_eps + d_eps);
+}
+
+double empirical_ratio(double online_cost, double offline_cost) {
+  SORA_CHECK_MSG(offline_cost > 0.0, "offline optimum must be positive");
+  return online_cost / offline_cost;
+}
+
+}  // namespace sora::core

@@ -1,0 +1,21 @@
+// Competitive-ratio computations: the theoretical bound of Theorem 1 and
+// the "actual" (empirical) ratio used throughout the evaluation section.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace sora::core {
+
+/// Theorem 1: r = 1 + |I| (C(eps) + B(eps')), with
+///   C(eps)  = max_i (C_i + eps)  ln(1 + C_i / eps)
+///   B(eps') = max_e (B_e + eps') ln(1 + B_e / eps').
+/// When the instance models the tier-1 term F_1, the same Step-4 bounding
+/// pattern adds D(eps) = max_j (C_j + eps) ln(1 + C_j / eps) to the sum
+/// (the F_1 structure mirrors F_2, cf. the paper's remark in Sec. II-B).
+double theoretical_ratio(const Instance& inst, double eps, double eps_prime);
+
+/// online_cost / offline_optimal_cost (both totals over the horizon).
+/// Guards against a zero offline cost.
+double empirical_ratio(double online_cost, double offline_cost);
+
+}  // namespace sora::core

@@ -1,0 +1,42 @@
+// P1 cost accounting and feasibility checks (the paper's F_12 + F_2 with the
+// [.]^+ reconfiguration model).
+#pragma once
+
+#include "core/types.hpp"
+
+namespace sora::core {
+
+/// Allocation cost of one slot: sum_e a_{i(e),t} x_e + sum_e c_e y_e.
+double slot_allocation_cost(const Instance& inst, std::size_t t,
+                            const Allocation& alloc);
+
+/// Reconfiguration cost between consecutive decisions:
+/// sum_i b_i [X_i(cur) - X_i(prev)]^+ + sum_e d_e [y_e(cur) - y_e(prev)]^+,
+/// where X_i aggregates x over the edges incident to tier-2 cloud i.
+double reconfiguration_cost(const Instance& inst, const Allocation& prev,
+                            const Allocation& cur);
+
+/// Total P1 objective of a trajectory (initial state is all-zero, as in the
+/// paper: x_0 = y_0 = 0).
+CostBreakdown total_cost(const Instance& inst, const Trajectory& traj);
+
+/// Per-slot cumulative cost curve (entry t = cost of slots 0..t inclusive).
+std::vector<double> cumulative_cost(const Instance& inst,
+                                    const Trajectory& traj);
+
+/// Worst violation of P1's constraints at slot t (coverage (1a), capacities
+/// (1b)/(1c), nonnegativity); 0 when feasible.
+double slot_violation(const Instance& inst, std::size_t t,
+                      const Allocation& alloc);
+
+/// True iff every slot satisfies P1 within tol.
+bool is_feasible(const Instance& inst, const Trajectory& traj,
+                 double tol = 1e-6);
+
+/// Aggregate x over the edges of each tier-2 cloud: X_i = sum_{e in i} x_e.
+Vec tier2_totals(const Instance& inst, const Vec& x);
+
+/// Aggregate z over the edges of each tier-1 cloud: Z_j = sum_{e in j} z_e.
+Vec tier1_totals(const Instance& inst, const Vec& z);
+
+}  // namespace sora::core

@@ -1,0 +1,37 @@
+#include "core/normalization.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sora::core {
+
+NormalizedInstance normalize_instance(const Instance& inst) {
+  NormalizedInstance out;
+  out.instance = inst;
+  double scale = 0.0;
+  for (double c : inst.tier2_capacity) scale = std::max(scale, c);
+  SORA_CHECK_MSG(scale > 0.0, "instance has no positive capacity");
+  out.scale = scale;
+
+  const double inv = 1.0 / scale;
+  for (auto& row : out.instance.demand)
+    for (double& v : row) v *= inv;
+  for (double& v : out.instance.tier2_capacity) v *= inv;
+  for (double& v : out.instance.edge_capacity) v *= inv;
+  for (double& v : out.instance.tier1_capacity) v *= inv;
+  return out;
+}
+
+Trajectory denormalize(const NormalizedInstance& norm,
+                       const Trajectory& scaled) {
+  Trajectory out = scaled;
+  for (auto& slot : out.slots) {
+    linalg::scale(slot.x, norm.scale);
+    linalg::scale(slot.y, norm.scale);
+    linalg::scale(slot.z, norm.scale);
+  }
+  return out;
+}
+
+}  // namespace sora::core

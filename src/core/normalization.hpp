@@ -1,0 +1,31 @@
+// Input normalization (paper Sec. III-D remark): "the way we model the
+// problem ... always allows us to normalize the inputs, including both the
+// workload and the capacities, so that solving a normalized problem can
+// have a much smaller competitive ratio. The decisions made by solving the
+// normalized problem can also be translated back."
+//
+// The model is positively homogeneous in the resource amounts: scaling every
+// demand, capacity, and decision by 1/s leaves feasibility intact and scales
+// all costs by 1/s. Theorem 1's constant depends on the capacities through
+// C(eps) = max (C+eps) ln(1+C/eps), so shrinking the capacities toward O(1)
+// shrinks the worst-case ratio while the empirical behaviour is unchanged.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace sora::core {
+
+struct NormalizedInstance {
+  Instance instance;   // capacities/demands divided by `scale`
+  double scale = 1.0;  // the original max tier-2 capacity
+};
+
+/// Divide all resource quantities (demands, capacities) by the largest
+/// tier-2 capacity, so capacities are <= 1.
+NormalizedInstance normalize_instance(const Instance& inst);
+
+/// Map a trajectory of the normalized instance back to original units.
+Trajectory denormalize(const NormalizedInstance& norm,
+                       const Trajectory& scaled);
+
+}  // namespace sora::core

@@ -1,0 +1,399 @@
+#include "core/p2_subproblem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cost.hpp"
+#include "core/regularizer.hpp"
+#include "linalg/matrix.hpp"
+#include "solver/simplex.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace sora::core {
+namespace {
+
+using linalg::Matrix;
+using solver::kInf;
+
+// Variable layout: [x_e (E) | y_e (E) | s_e (E)] (+ [z_e (E)] with F_1).
+struct Layout {
+  std::size_t num_edges;
+  bool with_z;
+  std::size_t x(std::size_t e) const { return e; }
+  std::size_t y(std::size_t e) const { return num_edges + e; }
+  std::size_t s(std::size_t e) const { return 2 * num_edges + e; }
+  std::size_t z(std::size_t e) const {
+    SORA_DCHECK(with_z);
+    return 3 * num_edges + e;
+  }
+  std::size_t size() const { return (with_z ? 4 : 3) * num_edges; }
+};
+
+Layout layout_for(const Instance& inst) {
+  return Layout{inst.num_edges(), inst.has_tier1()};
+}
+
+// The smooth convex P2 objective.
+class P2Objective : public solver::ConvexObjective {
+ public:
+  P2Objective(const Instance& inst, const InputSeries& inputs, std::size_t t,
+              const Allocation& prev, const RoaOptions& options)
+      : inst_(inst), layout_(layout_for(inst)), options_(options) {
+    const std::size_t num_i = inst.num_tier2();
+    prev_totals_ = tier2_totals(inst, prev.x);
+    prev_y_ = prev.y;
+    x_weight_.resize(num_i);
+    for (std::size_t i = 0; i < num_i; ++i) {
+      const double eta =
+          regularizer_eta(inst.tier2_capacity[i], options.eps);
+      x_weight_[i] = eta > 0.0 ? inst.tier2_reconfig[i] / eta : 0.0;
+    }
+    y_weight_.resize(layout_.num_edges);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e) {
+      const double eta =
+          regularizer_eta(inst.edge_capacity[e], options.eps_prime);
+      y_weight_[e] = eta > 0.0 ? inst.edge_reconfig[e] / eta : 0.0;
+    }
+    // Linear allocation prices.
+    price_x_.resize(layout_.num_edges);
+    price_y_.resize(layout_.num_edges);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e) {
+      price_x_[e] = inputs.price(t, inst.edges[e].tier2);
+      price_y_[e] = inst.edge_price[e];
+    }
+    // Tier-1 (F_1) term: entropic on the per-tier-1 aggregates Z_j.
+    if (layout_.with_z) {
+      prev_t1_totals_ = tier1_totals(inst, prev.z);
+      z_weight_.resize(inst.num_tier1());
+      for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+        const double eta =
+            regularizer_eta(inst.tier1_capacity[j], options.eps);
+        z_weight_[j] = eta > 0.0 ? inst.tier1_reconfig[j] / eta : 0.0;
+      }
+      price_z_.resize(layout_.num_edges);
+      for (std::size_t e = 0; e < layout_.num_edges; ++e)
+        price_z_[e] = inst.tier1_price[t][inst.edges[e].tier1];
+    }
+  }
+
+  double value(const Vec& v) const override {
+    double total = 0.0;
+    for (std::size_t e = 0; e < layout_.num_edges; ++e) {
+      total += price_x_[e] * v[layout_.x(e)];
+      total += price_y_[e] * v[layout_.y(e)];
+    }
+    const Vec totals = x_totals(v);
+    for (std::size_t i = 0; i < totals.size(); ++i)
+      total += x_weight_[i] *
+               entropic_value(totals[i], prev_totals_[i], options_.eps);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      total += y_weight_[e] * entropic_value(v[layout_.y(e)], prev_y_[e],
+                                             options_.eps_prime);
+    if (layout_.with_z) {
+      for (std::size_t e = 0; e < layout_.num_edges; ++e)
+        total += price_z_[e] * v[layout_.z(e)];
+      const Vec t1 = z_totals(v);
+      for (std::size_t j = 0; j < t1.size(); ++j)
+        total += z_weight_[j] *
+                 entropic_value(t1[j], prev_t1_totals_[j], options_.eps);
+    }
+    return total;
+  }
+
+  Vec gradient(const Vec& v) const override {
+    Vec g(layout_.size(), 0.0);
+    const Vec totals = x_totals(v);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e) {
+      const std::size_t i = inst_.edges[e].tier2;
+      g[layout_.x(e)] =
+          price_x_[e] + x_weight_[i] * entropic_gradient(
+                                           totals[i], prev_totals_[i],
+                                           options_.eps);
+      g[layout_.y(e)] =
+          price_y_[e] + y_weight_[e] * entropic_gradient(
+                                           v[layout_.y(e)], prev_y_[e],
+                                           options_.eps_prime);
+      // s does not appear in the objective.
+    }
+    if (layout_.with_z) {
+      const Vec t1 = z_totals(v);
+      for (std::size_t e = 0; e < layout_.num_edges; ++e) {
+        const std::size_t j = inst_.edges[e].tier1;
+        g[layout_.z(e)] =
+            price_z_[e] + z_weight_[j] * entropic_gradient(
+                                             t1[j], prev_t1_totals_[j],
+                                             options_.eps);
+      }
+    }
+    return g;
+  }
+
+  Matrix hessian(const Vec& v) const override {
+    Matrix h(layout_.size(), layout_.size(), 0.0);
+    const Vec totals = x_totals(v);
+    // x-block: (b_i/eta_i)/(X_i+eps) on every pair of edges sharing tier-2 i.
+    for (std::size_t i = 0; i < inst_.num_tier2(); ++i) {
+      const double curvature =
+          x_weight_[i] * entropic_hessian(totals[i], options_.eps);
+      const auto& ids = inst_.edges_of_tier2[i];
+      for (const std::size_t e1 : ids)
+        for (const std::size_t e2 : ids)
+          h(layout_.x(e1), layout_.x(e2)) = curvature;
+    }
+    // y-block: diagonal.
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      h(layout_.y(e), layout_.y(e)) =
+          y_weight_[e] * entropic_hessian(v[layout_.y(e)], options_.eps_prime);
+    // z-block: like x but grouped by tier-1 cloud.
+    if (layout_.with_z) {
+      const Vec t1 = z_totals(v);
+      for (std::size_t j = 0; j < inst_.num_tier1(); ++j) {
+        const double curvature =
+            z_weight_[j] * entropic_hessian(t1[j], options_.eps);
+        const auto& ids = inst_.edges_of_tier1[j];
+        for (const std::size_t e1 : ids)
+          for (const std::size_t e2 : ids)
+            h(layout_.z(e1), layout_.z(e2)) = curvature;
+      }
+    }
+    return h;
+  }
+
+ private:
+  Vec x_totals(const Vec& v) const {
+    Vec totals(inst_.num_tier2(), 0.0);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      totals[inst_.edges[e].tier2] += v[layout_.x(e)];
+    return totals;
+  }
+
+  Vec z_totals(const Vec& v) const {
+    Vec totals(inst_.num_tier1(), 0.0);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      totals[inst_.edges[e].tier1] += v[layout_.z(e)];
+    return totals;
+  }
+
+  const Instance& inst_;
+  Layout layout_;
+  RoaOptions options_;
+  Vec prev_totals_, prev_y_, prev_t1_totals_;
+  Vec x_weight_, y_weight_, z_weight_;
+  Vec price_x_, price_y_, price_z_;
+};
+
+// Constraint polyhedron G v <= h for P2(t), with the rows of the paper's
+// named constraints tracked for dual recovery (kNoRow where a conditional
+// row was not generated).
+inline constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+
+struct P2Constraints {
+  Matrix g;
+  Vec h;
+  std::vector<std::size_t> rho_row;    // per edge, (3a)
+  std::vector<std::size_t> phi_row;    // per edge, (3b)
+  std::vector<std::size_t> gamma_row;  // per tier-1, (3c)
+  std::vector<std::size_t> delta_row;  // per tier-2, (3d)
+  std::vector<std::size_t> theta_row;  // per edge, (3e)
+  std::vector<std::size_t> sigma_row;  // per edge, z >= s
+};
+
+P2Constraints build_constraints(const Instance& inst, const InputSeries& inputs,
+                                std::size_t t) {
+  const Layout layout = layout_for(inst);
+  const std::size_t E = layout.num_edges;
+  const std::size_t I = inst.num_tier2();
+  const std::size_t J = inst.num_tier1();
+
+  double total_demand = 0.0;
+  for (std::size_t j = 0; j < J; ++j) total_demand += inputs.lambda(t, j);
+
+  // Count rows: 2E (3a,3b) + J (3c) + nonneg 3E + capacity I + E, plus the
+  // conditional transfer rows (3d)/(3e).
+  std::vector<std::pair<std::vector<std::pair<std::size_t, double>>, double>>
+      rows;
+  auto add_row = [&rows](std::vector<std::pair<std::size_t, double>> terms,
+                         double rhs) {
+    rows.push_back({std::move(terms), rhs});
+    return rows.size() - 1;
+  };
+
+  P2Constraints out;
+  out.rho_row.assign(E, kNoRow);
+  out.phi_row.assign(E, kNoRow);
+  out.gamma_row.assign(J, kNoRow);
+  out.delta_row.assign(I, kNoRow);
+  out.theta_row.assign(E, kNoRow);
+  out.sigma_row.assign(E, kNoRow);
+
+  for (std::size_t e = 0; e < E; ++e) {
+    out.rho_row[e] =
+        add_row({{layout.s(e), 1.0}, {layout.x(e), -1.0}}, 0.0);  // (3a)
+    out.phi_row[e] =
+        add_row({{layout.s(e), 1.0}, {layout.y(e), -1.0}}, 0.0);  // (3b)
+  }
+  for (std::size_t j = 0; j < J; ++j) {  // (3c): -sum s <= -lambda
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (const std::size_t e : inst.edges_of_tier1[j])
+      terms.push_back({layout.s(e), -1.0});
+    out.gamma_row[j] = add_row(std::move(terms), -inputs.lambda(t, j));
+  }
+  // (3d): for each i, sum of x over edges NOT incident to i must cover
+  // total demand minus C_i (when positive).
+  for (std::size_t i = 0; i < I; ++i) {
+    const double rhs = total_demand - inst.tier2_capacity[i];
+    if (rhs <= 0.0) continue;
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t e = 0; e < E; ++e)
+      if (inst.edges[e].tier2 != i) terms.push_back({layout.x(e), -1.0});
+    out.delta_row[i] = add_row(std::move(terms), -rhs);
+  }
+  // (3e): for each edge e = (j, i), the other edges of j must cover
+  // lambda_j - B_e (when positive).
+  for (std::size_t e = 0; e < E; ++e) {
+    const std::size_t j = inst.edges[e].tier1;
+    const double rhs = inputs.lambda(t, j) - inst.edge_capacity[e];
+    if (rhs <= 0.0) continue;
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (const std::size_t e2 : inst.edges_of_tier1[j])
+      if (e2 != e) terms.push_back({layout.y(e2), -1.0});
+    out.theta_row[e] = add_row(std::move(terms), -rhs);
+  }
+  // Nonnegativity (3f) + capacities (1b)/(1c).
+  for (std::size_t e = 0; e < E; ++e) {
+    add_row({{layout.x(e), -1.0}}, 0.0);
+    add_row({{layout.y(e), -1.0}}, 0.0);
+    add_row({{layout.s(e), -1.0}}, 0.0);
+    add_row({{layout.y(e), 1.0}}, inst.edge_capacity[e]);
+  }
+  for (std::size_t i = 0; i < I; ++i) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (const std::size_t e : inst.edges_of_tier2[i])
+      terms.push_back({layout.x(e), 1.0});
+    if (!terms.empty()) add_row(std::move(terms), inst.tier2_capacity[i]);
+  }
+  // Tier-1 term (F_1): s <= z, z >= 0, per-tier-1 capacity (1d).
+  if (layout.with_z) {
+    for (std::size_t e = 0; e < E; ++e) {
+      out.sigma_row[e] =
+          add_row({{layout.s(e), 1.0}, {layout.z(e), -1.0}}, 0.0);
+      add_row({{layout.z(e), -1.0}}, 0.0);
+    }
+    for (std::size_t j = 0; j < J; ++j) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (const std::size_t e : inst.edges_of_tier1[j])
+        terms.push_back({layout.z(e), 1.0});
+      add_row(std::move(terms), inst.tier1_capacity[j]);
+    }
+  }
+
+  out.g = Matrix(rows.size(), layout.size(), 0.0);
+  out.h.assign(rows.size(), 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (const auto& [col, coeff] : rows[r].first) out.g(r, col) += coeff;
+    out.h[r] = rows[r].second;
+  }
+  return out;
+}
+
+// Phase-I LP: maximize the margin m with G v + m <= h, 0 <= m <= 1.
+Vec phase1_feasible_point(const Matrix& g, const Vec& h, std::size_t n) {
+  solver::LpBuilder b;
+  for (std::size_t j = 0; j < n; ++j) b.add_variable(-kInf, kInf, 0.0);
+  const std::size_t margin = b.add_variable(0.0, 1.0, -1.0, "margin");
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    std::vector<solver::LinTerm> terms;
+    for (std::size_t c = 0; c < n; ++c)
+      if (g(r, c) != 0.0) terms.push_back({c, g(r, c)});
+    terms.push_back({margin, 1.0});
+    b.add_le(terms, h[r]);
+  }
+  const auto sol = solver::solve_simplex(b.build());
+  SORA_CHECK_MSG(sol.ok(), "P2 phase-I LP failed");
+  SORA_CHECK_MSG(sol.x[margin] > 1e-9,
+                 "P2 subproblem has no strictly feasible point");
+  Vec v(sol.x.begin(), sol.x.begin() + static_cast<std::ptrdiff_t>(n));
+  return v;
+}
+
+}  // namespace
+
+Vec p2_strictly_feasible_point(const Instance& inst, const InputSeries& inputs,
+                               std::size_t t) {
+  const Layout layout = layout_for(inst);
+  Vec v(layout.size(), 0.0);
+  // Even split inflated by small margins: s covers demand strictly, x, y
+  // (and z) strictly dominate s, capacities keep 25% headroom by
+  // provisioning.
+  for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+    const auto& ids = inst.edges_of_tier1[j];
+    const double split =
+        inputs.lambda(t, j) / static_cast<double>(ids.size());
+    for (const std::size_t e : ids) {
+      v[layout.s(e)] = split * 1.01 + 1e-7;
+      v[layout.x(e)] = split * 1.02 + 2e-7;
+      v[layout.y(e)] = split * 1.02 + 2e-7;
+      if (layout.with_z) v[layout.z(e)] = split * 1.02 + 2e-7;
+    }
+  }
+
+  const P2Constraints cons = build_constraints(inst, inputs, t);
+  const Vec gx = cons.g.multiply(v);
+  double min_slack = kInf;
+  for (std::size_t r = 0; r < cons.h.size(); ++r)
+    min_slack = std::min(min_slack, cons.h[r] - gx[r]);
+  if (min_slack > 0.0) return v;
+
+  SORA_LOG_DEBUG << "p2: even-split start infeasible (slack " << min_slack
+                 << "); falling back to phase-I LP";
+  return phase1_feasible_point(cons.g, cons.h, layout.size());
+}
+
+P2Solution solve_p2(const Instance& inst, const InputSeries& inputs,
+                    std::size_t t, const Allocation& prev,
+                    const RoaOptions& options) {
+  SORA_CHECK(t < inst.horizon);
+  SORA_CHECK(prev.x.size() == inst.num_edges());
+  const Layout layout = layout_for(inst);
+
+  const P2Objective objective(inst, inputs, t, prev, options);
+  const P2Constraints cons = build_constraints(inst, inputs, t);
+  const Vec start = p2_strictly_feasible_point(inst, inputs, t);
+
+  const auto result =
+      solver::solve_barrier(objective, cons.g, cons.h, start, options.ipm);
+  SORA_CHECK_MSG(result.ok(),
+                 "P2 barrier solve failed at t=" + std::to_string(t) + ": " +
+                     result.detail);
+
+  P2Solution out;
+  out.alloc = Allocation::zeros(layout.num_edges);
+  out.s.assign(layout.num_edges, 0.0);
+  for (std::size_t e = 0; e < layout.num_edges; ++e) {
+    out.alloc.x[e] = std::max(0.0, result.x[layout.x(e)]);
+    out.alloc.y[e] = std::max(0.0, result.x[layout.y(e)]);
+    if (layout.with_z) out.alloc.z[e] = std::max(0.0, result.x[layout.z(e)]);
+    out.s[e] = std::max(0.0, result.x[layout.s(e)]);
+  }
+  out.objective = result.objective;
+  out.newton_steps = result.newton_steps;
+
+  // Recover the named KKT multipliers for the certificate machinery.
+  const auto pick = [&result](const std::vector<std::size_t>& row_of,
+                              std::size_t count) {
+    Vec duals(count, 0.0);
+    for (std::size_t k = 0; k < count; ++k)
+      if (row_of[k] != kNoRow) duals[k] = result.ineq_dual[row_of[k]];
+    return duals;
+  };
+  out.rho = pick(cons.rho_row, layout.num_edges);
+  out.phi = pick(cons.phi_row, layout.num_edges);
+  out.gamma = pick(cons.gamma_row, inst.num_tier1());
+  out.delta = pick(cons.delta_row, inst.num_tier2());
+  out.theta = pick(cons.theta_row, layout.num_edges);
+  out.sigma = pick(cons.sigma_row, layout.num_edges);
+  return out;
+}
+
+}  // namespace sora::core

@@ -1,0 +1,64 @@
+// The regularized per-slot subproblem P2(t) (paper eq. (3a)-(3f)) and its
+// solver.
+//
+// Variables (per admissible edge e = (j, i)): x_e, y_e, s_e. Objective:
+//
+//   sum_e a_{i(e),t} x_e + sum_e c_e y_e
+//   + sum_i (b_i/eta_i)   * entropic(X_i | X_i^{t-1}, eps)     (X_i = sum x)
+//   + sum_e (d_e/eta'_e)  * entropic(y_e | y_e^{t-1}, eps')
+//
+// subject to the coverage constraints (3a)-(3c), the feasibility-transfer
+// constraints (3d)/(3e), nonnegativity (3f), and — following Lemma 1, which
+// shows they are slack at the optimum — the explicit capacity constraints
+// (1b)/(1c) to keep interior-point iterates physical.
+//
+// The solver is the dense barrier IPM; the strictly feasible start is the
+// even-split point inflated by a small margin (valid under the paper's
+// capacity provisioning rule), with a phase-I LP fallback for exotic
+// instances.
+#pragma once
+
+#include "core/p1_model.hpp"
+#include "core/types.hpp"
+#include "solver/ipm.hpp"
+
+namespace sora::core {
+
+struct RoaOptions {
+  double eps = 1e-2;        // the paper's epsilon (tier-2 aggregates)
+  double eps_prime = 1e-2;  // the paper's epsilon' (edges)
+  solver::IpmOptions ipm;   // inner solver controls
+
+  RoaOptions() { ipm.tol = 1e-6; }
+};
+
+struct P2Solution {
+  Allocation alloc;
+  Vec s;                 // the auxiliary s_e at the optimum
+  double objective = 0.0;  // P2 objective (regularized)
+  std::size_t newton_steps = 0;
+
+  // KKT multipliers of P2(t)'s constraints (the paper's Step 3 notation),
+  // recovered from the barrier solve. Zero where the constraint was not
+  // generated (the conditional transfer rows (3d)/(3e)). Used by the
+  // competitive-certificate construction.
+  Vec rho;    // per edge, for (3a) x >= s
+  Vec phi;    // per edge, for (3b) y >= s
+  Vec gamma;  // per tier-1 cloud, for (3c) coverage
+  Vec delta;  // per tier-2 cloud, for (3d)
+  Vec theta;  // per edge, for (3e)
+  Vec sigma;  // per edge, for z >= s (only with the tier-1 term)
+};
+
+/// Solve P2(t) given the previous slot's decision. Throws CheckError when
+/// the instance is infeasible at slot t.
+P2Solution solve_p2(const Instance& inst, const InputSeries& inputs,
+                    std::size_t t, const Allocation& prev,
+                    const RoaOptions& options = {});
+
+/// A strictly feasible (x, y, s) for P2(t)'s constraint polyhedron, packed
+/// as [x | y | s]. Exposed for tests.
+Vec p2_strictly_feasible_point(const Instance& inst, const InputSeries& inputs,
+                               std::size_t t);
+
+}  // namespace sora::core

@@ -1,0 +1,326 @@
+#include "core/predictive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cost.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sora::core {
+namespace {
+
+using solver::kInf;
+using solver::LinTerm;
+using solver::LpBuilder;
+
+double series_mean(const std::vector<std::vector<double>>& series,
+                   std::size_t index) {
+  double sum = 0.0;
+  for (const auto& row : series) sum += row[index];
+  return sum / static_cast<double>(series.size());
+}
+
+}  // namespace
+
+void PredictedInputs::observe(const Instance& inst, std::size_t t) {
+  SORA_CHECK(t < inst.horizon);
+  demand[t] = inst.demand[t];
+  tier2_price[t] = inst.tier2_price[t];
+}
+
+PredictedInputs make_predictions(const Instance& inst,
+                                 const PredictionModel& model) {
+  SORA_CHECK(model.error_pct >= 0.0);
+  PredictedInputs pred;
+  pred.demand = inst.demand;
+  pred.tier2_price = inst.tier2_price;
+  if (model.error_pct == 0.0) return pred;
+
+  util::Rng rng(model.seed);
+  // Per-entity noise scale: error_pct of the temporal mean (paper Sec. V-B).
+  for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+    const double sd = model.error_pct * series_mean(inst.demand, j);
+    for (std::size_t t = 0; t < inst.horizon; ++t)
+      pred.demand[t][j] = std::max(0.0, pred.demand[t][j] + rng.normal(0.0, sd));
+  }
+  for (std::size_t i = 0; i < inst.num_tier2(); ++i) {
+    const double sd = model.error_pct * series_mean(inst.tier2_price, i);
+    for (std::size_t t = 0; t < inst.horizon; ++t)
+      pred.tier2_price[t][i] =
+          std::max(1e-3, pred.tier2_price[t][i] + rng.normal(0.0, sd));
+  }
+  return pred;
+}
+
+Allocation repair_allocation(const Instance& inst, std::size_t t,
+                             const Allocation& planned,
+                             const solver::LpSolveOptions& lp,
+                             bool* repaired) {
+  if (repaired != nullptr) *repaired = false;
+  const bool with_z = inst.has_tier1();
+  const auto covered_base = [&](std::size_t e) {
+    double m = std::min(planned.x[e], planned.y[e]);
+    if (with_z) m = std::min(m, planned.z[e]);
+    return m;
+  };
+  // Residual demand not covered by min(x, y[, z]) per tier-1 cloud.
+  Vec residual(inst.num_tier1(), 0.0);
+  bool any = false;
+  for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+    double covered = 0.0;
+    for (const std::size_t e : inst.edges_of_tier1[j])
+      covered += covered_base(e);
+    residual[j] = std::max(0.0, inst.demand[t][j] - covered);
+    if (residual[j] > 1e-9) any = true;
+  }
+  if (!any) return planned;
+  if (repaired != nullptr) *repaired = true;
+
+  // Additive LP: buy the cheapest extra (dx, dy[, dz]) that covers the
+  // residual within the remaining capacities. Increases always pay
+  // reconfiguration.
+  const std::size_t E = inst.num_edges();
+  LpBuilder b;
+  for (std::size_t e = 0; e < E; ++e) {  // dx
+    const std::size_t i = inst.edges[e].tier2;
+    b.add_variable(0.0, kInf,
+                   inst.tier2_price[t][i] + inst.tier2_reconfig[i]);
+  }
+  for (std::size_t e = 0; e < E; ++e) {  // dy
+    const double headroom =
+        std::max(0.0, inst.edge_capacity[e] - planned.y[e]);
+    b.add_variable(0.0, headroom,
+                   inst.edge_price[e] + inst.edge_reconfig[e]);
+  }
+  for (std::size_t e = 0; e < E; ++e)  // ds
+    b.add_variable(0.0, kInf, 0.0);
+  if (with_z) {
+    for (std::size_t e = 0; e < E; ++e) {  // dz
+      const std::size_t j = inst.edges[e].tier1;
+      b.add_variable(0.0, kInf,
+                     inst.tier1_price[t][j] + inst.tier1_reconfig[j]);
+    }
+  }
+  const auto dx = [](std::size_t e) { return e; };
+  const auto dy = [E](std::size_t e) { return E + e; };
+  const auto ds = [E](std::size_t e) { return 2 * E + e; };
+  const auto dz = [E](std::size_t e) { return 3 * E + e; };
+
+  for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+    if (residual[j] <= 1e-9) continue;
+    std::vector<LinTerm> terms;
+    for (const std::size_t e : inst.edges_of_tier1[j])
+      terms.push_back({ds(e), 1.0});
+    b.add_ge(terms, residual[j]);
+  }
+  for (std::size_t e = 0; e < E; ++e) {
+    // The added coverage of edge e is ds <= the increase of min(x, y[, z]):
+    // ds <= d* + slack_* where slack_* is how much the planned resource
+    // already exceeds the covered base.
+    const double base = covered_base(e);
+    b.add_ge({{dx(e), 1.0}, {ds(e), -1.0}}, base - planned.x[e]);
+    b.add_ge({{dy(e), 1.0}, {ds(e), -1.0}}, base - planned.y[e]);
+    if (with_z)
+      b.add_ge({{dz(e), 1.0}, {ds(e), -1.0}}, base - planned.z[e]);
+  }
+  for (std::size_t i = 0; i < inst.num_tier2(); ++i) {
+    double used = 0.0;
+    std::vector<LinTerm> terms;
+    for (const std::size_t e : inst.edges_of_tier2[i]) {
+      used += planned.x[e];
+      terms.push_back({dx(e), 1.0});
+    }
+    if (!terms.empty())
+      b.add_le(terms, std::max(0.0, inst.tier2_capacity[i] - used));
+  }
+  if (with_z) {
+    for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+      double used = 0.0;
+      std::vector<LinTerm> terms;
+      for (const std::size_t e : inst.edges_of_tier1[j]) {
+        used += planned.z[e];
+        terms.push_back({dz(e), 1.0});
+      }
+      if (!terms.empty())
+        b.add_le(terms, std::max(0.0, inst.tier1_capacity[j] - used));
+    }
+  }
+
+  const auto sol = solver::solve_lp(b.build(), lp);
+  SORA_CHECK_MSG(sol.ok(), "repair LP failed at t=" + std::to_string(t) +
+                               ": " + sol.detail);
+
+  Allocation out = planned;
+  for (std::size_t e = 0; e < E; ++e) {
+    out.x[e] += std::max(0.0, sol.x[dx(e)]);
+    out.y[e] += std::max(0.0, sol.x[dy(e)]);
+    if (with_z) out.z[e] += std::max(0.0, sol.x[dz(e)]);
+  }
+  return out;
+}
+
+namespace {
+
+// Shared driver plumbing: apply one slot's planned decision (repairing if
+// the true demand is under-covered) and account it.
+struct Applier {
+  const Instance& inst;
+  const solver::LpSolveOptions& lp;
+  ControlRun run;
+  Allocation prev;
+
+  explicit Applier(const Instance& inst_, const solver::LpSolveOptions& lp_,
+                   std::string name)
+      : inst(inst_), lp(lp_), prev(Allocation::zeros(inst_.num_edges())) {
+    run.algorithm = std::move(name);
+  }
+
+  void apply(std::size_t t, const Allocation& planned) {
+    bool repaired = false;
+    Allocation final_alloc = repair_allocation(inst, t, planned, lp, &repaired);
+    if (repaired) ++run.repairs;
+    prev = final_alloc;
+    run.trajectory.slots.push_back(std::move(final_alloc));
+  }
+
+  ControlRun finish() {
+    run.cost = total_cost(inst, run.trajectory);
+    return std::move(run);
+  }
+};
+
+}  // namespace
+
+ControlRun run_fhc(const Instance& inst, const ControlOptions& options) {
+  SORA_CHECK(options.window >= 1);
+  PredictedInputs pred = make_predictions(inst, options.prediction);
+  Applier applier(inst, options.lp, "FHC");
+  for (std::size_t t0 = 0; t0 < inst.horizon; t0 += options.window) {
+    const std::size_t t1 = std::min(inst.horizon, t0 + options.window);
+    pred.observe(inst, t0);  // the block's first slot is current
+    const Trajectory block = solve_p1_window(inst, pred.view(), t0, t1,
+                                             applier.prev, nullptr, options.lp);
+    for (std::size_t rel = 0; rel < block.horizon(); ++rel)
+      applier.apply(t0 + rel, block.slots[rel]);
+  }
+  return applier.finish();
+}
+
+ControlRun run_rhc(const Instance& inst, const ControlOptions& options) {
+  SORA_CHECK(options.window >= 1);
+  PredictedInputs pred = make_predictions(inst, options.prediction);
+  Applier applier(inst, options.lp, "RHC");
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    const std::size_t t1 = std::min(inst.horizon, t + options.window);
+    pred.observe(inst, t);
+    const Trajectory window = solve_p1_window(inst, pred.view(), t, t1,
+                                              applier.prev, nullptr,
+                                              options.lp);
+    applier.apply(t, window.slots[0]);
+  }
+  return applier.finish();
+}
+
+ControlRun run_rfhc(const Instance& inst, const ControlOptions& options) {
+  SORA_CHECK(options.window >= 1);
+  PredictedInputs pred = make_predictions(inst, options.prediction);
+  Applier applier(inst, options.lp, "RFHC");
+  for (std::size_t t0 = 0; t0 < inst.horizon; t0 += options.window) {
+    const std::size_t t1 = std::min(inst.horizon, t0 + options.window);
+    pred.observe(inst, t0);
+    // Regularized chain P2(t0)..P2(t1-1) from the applied decision.
+    std::vector<Allocation> chain;
+    Allocation chain_prev = applier.prev;
+    for (std::size_t t = t0; t < t1; ++t) {
+      P2Solution p2 = solve_p2(inst, pred.view(), t, chain_prev, options.roa);
+      chain_prev = p2.alloc;
+      chain.push_back(std::move(p2.alloc));
+    }
+    if (t1 - t0 == 1) {
+      applier.apply(t0, chain[0]);
+      continue;
+    }
+    // Pin the chain's final decision and re-optimise the interior exactly.
+    const Trajectory block =
+        solve_p1_window(inst, pred.view(), t0, t1, applier.prev,
+                        &chain.back(), options.lp);
+    for (std::size_t rel = 0; rel < block.horizon(); ++rel)
+      applier.apply(t0 + rel, block.slots[rel]);
+  }
+  return applier.finish();
+}
+
+ControlRun run_rrhc(const Instance& inst, const ControlOptions& options) {
+  SORA_CHECK(options.window >= 1);
+  const std::size_t w = options.window;
+  PredictedInputs pred = make_predictions(inst, options.prediction);
+  pred.observe(inst, 0);
+
+  // The regularized chain is global (Theorem 4): chain[tau] = P2(tau) fed by
+  // chain[tau-1], computed on the forecast available when first needed.
+  std::vector<Allocation> chain;
+  chain.reserve(inst.horizon);
+  Allocation chain_prev = Allocation::zeros(inst.num_edges());
+  auto extend_chain_to = [&](std::size_t tau) {
+    while (chain.size() <= tau) {
+      P2Solution p2 =
+          solve_p2(inst, pred.view(), chain.size(), chain_prev, options.roa);
+      chain_prev = p2.alloc;
+      chain.push_back(std::move(p2.alloc));
+    }
+  };
+
+  Applier applier(inst, options.lp, "RRHC");
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    pred.observe(inst, t);
+    const std::size_t t1 = std::min(inst.horizon, t + w);
+    extend_chain_to(t1 - 1);
+    if (t1 - t == 1) {
+      applier.apply(t, chain[t]);
+      continue;
+    }
+    const Trajectory window = solve_p1_window(
+        inst, pred.view(), t, t1, applier.prev, &chain[t1 - 1], options.lp);
+    applier.apply(t, window.slots[0]);
+  }
+  return applier.finish();
+}
+
+ControlRun run_afhc(const Instance& inst, const ControlOptions& options) {
+  SORA_CHECK(options.window >= 1);
+  const std::size_t w = options.window;
+  // Run the w phase-shifted FHC controllers, then average their decisions.
+  std::vector<Trajectory> phases;
+  phases.reserve(w);
+  for (std::size_t phase = 0; phase < w; ++phase) {
+    PredictedInputs pred = make_predictions(inst, options.prediction);
+    Applier applier(inst, options.lp, "FHC-phase");
+    std::size_t t0 = 0;
+    while (t0 < inst.horizon) {
+      const std::size_t block_end =
+          std::min(inst.horizon,
+                   t0 == 0 && phase > 0 ? phase : t0 + w);
+      pred.observe(inst, t0);
+      const Trajectory block = solve_p1_window(
+          inst, pred.view(), t0, block_end, applier.prev, nullptr, options.lp);
+      for (std::size_t rel = 0; rel < block.horizon(); ++rel)
+        applier.apply(t0 + rel, block.slots[rel]);
+      t0 = block_end;
+    }
+    phases.push_back(applier.finish().trajectory);
+  }
+
+  Applier applier(inst, options.lp, "AFHC");
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    Allocation avg = Allocation::zeros(inst.num_edges());
+    for (const auto& traj : phases) {
+      linalg::axpy(1.0 / static_cast<double>(w), traj.slots[t].x, avg.x);
+      linalg::axpy(1.0 / static_cast<double>(w), traj.slots[t].y, avg.y);
+    }
+    applier.apply(t, avg);
+  }
+  return applier.finish();
+}
+
+}  // namespace sora::core

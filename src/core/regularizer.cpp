@@ -1,0 +1,37 @@
+#include "core/regularizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sora::core {
+
+double regularizer_eta(double cap, double eps) {
+  SORA_CHECK(cap >= 0.0 && eps > 0.0);
+  return std::log(1.0 + cap / eps);
+}
+
+double entropic_value(double v, double prev, double eps) {
+  SORA_DCHECK(v >= 0.0 && prev >= 0.0 && eps > 0.0);
+  return (v + eps) * std::log((v + eps) / (prev + eps)) - v;
+}
+
+double entropic_gradient(double v, double prev, double eps) {
+  SORA_DCHECK(v >= 0.0 && prev >= 0.0 && eps > 0.0);
+  return std::log((v + eps) / (prev + eps));
+}
+
+double entropic_hessian(double v, double eps) {
+  SORA_DCHECK(v >= 0.0 && eps > 0.0);
+  return 1.0 / (v + eps);
+}
+
+double decay_point(double prev, double a, double b, double cap, double eps) {
+  SORA_CHECK(b > 0.0);
+  const double eta = regularizer_eta(cap, eps);
+  // (prev + eps) * (1 + cap/eps)^(-a/b) - eps, written via exp to avoid
+  // pow's domain quirks.
+  return (prev + eps) * std::exp(-a * eta / b) - eps;
+}
+
+}  // namespace sora::core

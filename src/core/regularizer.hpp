@@ -1,0 +1,39 @@
+// The paper's regularization machinery (Sec. III-B).
+//
+// The reconfiguration term b [v - v_prev]^+ is replaced, per resource
+// aggregate v with capacity cap, by the scaled relative-entropy term
+//
+//     (b / eta) * [ (v + eps) * ln((v + eps) / (v_prev + eps)) - v ],
+//     eta = ln(1 + cap / eps).
+//
+// Its gradient (b/eta) ln((v+eps)/(v_prev+eps)) vanishes at v = v_prev, is
+// negative below and positive above, which yields the paper's geometric
+// behaviour: the unconstrained minimizer of (allocation price a) + (term)
+// is the exponential-decay point (v_prev + eps) (1 + cap/eps)^(-a/b) - eps.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace sora::core {
+
+/// eta = ln(1 + cap / eps). Requires cap >= 0, eps > 0.
+double regularizer_eta(double cap, double eps);
+
+/// Value of the entropic term (without the b/eta weight):
+/// (v+eps) ln((v+eps)/(prev+eps)) - v. Requires v, prev >= 0.
+double entropic_value(double v, double prev, double eps);
+
+/// d/dv of entropic_value: ln((v+eps)/(prev+eps)).
+double entropic_gradient(double v, double prev, double eps);
+
+/// d2/dv2 of entropic_value: 1/(v+eps).
+double entropic_hessian(double v, double eps);
+
+/// The paper's closed-form exponential-decay point (Sec. III-C, eq. (6)):
+/// the unconstrained minimizer of a*v + (b/eta) * entropic(v | prev).
+/// Requires b > 0.
+double decay_point(double prev, double a, double b, double cap, double eps);
+
+}  // namespace sora::core

@@ -1,0 +1,29 @@
+#include "core/roa.hpp"
+
+#include "core/cost.hpp"
+#include "util/timer.hpp"
+
+namespace sora::core {
+
+RoaRun run_roa_with_inputs(const Instance& inst, const InputSeries& inputs,
+                           const RoaOptions& options) {
+  util::Timer timer;
+  RoaRun run;
+  run.trajectory.slots.reserve(inst.horizon);
+  Allocation prev = Allocation::zeros(inst.num_edges());
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    P2Solution p2 = solve_p2(inst, inputs, t, prev, options);
+    run.newton_steps += p2.newton_steps;
+    prev = p2.alloc;
+    run.trajectory.slots.push_back(std::move(p2.alloc));
+  }
+  run.cost = total_cost(inst, run.trajectory);
+  run.solve_seconds = timer.seconds();
+  return run;
+}
+
+RoaRun run_roa(const Instance& inst, const RoaOptions& options) {
+  return run_roa_with_inputs(inst, InputSeries::truth(inst), options);
+}
+
+}  // namespace sora::core

@@ -1,0 +1,31 @@
+// The prediction-free Regularized Online Allocation algorithm (Sec. III).
+//
+// At each slot t the algorithm solves the regularized subproblem P2(t),
+// whose only inputs are the previous slot's decision and the current slot's
+// workload and prices — the paper's online decoupling. The resulting
+// decision sequence is feasible for P1 (Lemma 1) and r-competitive
+// (Theorem 1).
+#pragma once
+
+#include "core/p2_subproblem.hpp"
+#include "core/types.hpp"
+
+namespace sora::core {
+
+struct RoaRun {
+  Trajectory trajectory;
+  CostBreakdown cost;       // evaluated against the TRUE instance inputs
+  double solve_seconds = 0.0;
+  std::size_t newton_steps = 0;
+};
+
+/// Run ROA over the whole horizon with true inputs.
+RoaRun run_roa(const Instance& inst, const RoaOptions& options = {});
+
+/// Run ROA with a supplied input view (used by the regularized predictive
+/// controllers, which feed predicted inputs). Costs are still evaluated on
+/// the true instance.
+RoaRun run_roa_with_inputs(const Instance& inst, const InputSeries& inputs,
+                           const RoaOptions& options = {});
+
+}  // namespace sora::core

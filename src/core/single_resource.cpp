@@ -1,0 +1,151 @@
+#include "core/single_resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/regularizer.hpp"
+#include "solver/simplex.hpp"
+#include "util/check.hpp"
+
+namespace sora::core {
+
+using linalg::Vec;
+using solver::kInf;
+using solver::LinTerm;
+using solver::LpBuilder;
+
+void SingleResourceInstance::validate() const {
+  SORA_CHECK(!demand.empty());
+  SORA_CHECK(price.size() == demand.size());
+  SORA_CHECK(reconfig > 0.0);
+  for (std::size_t t = 0; t < demand.size(); ++t) {
+    SORA_CHECK_MSG(demand[t] >= 0.0, "negative demand");
+    SORA_CHECK_MSG(demand[t] <= capacity + 1e-12, "demand above capacity");
+    SORA_CHECK_MSG(price[t] > 0.0, "non-positive price");
+  }
+}
+
+double single_total_cost(const SingleResourceInstance& inst, const Vec& x) {
+  SORA_CHECK(x.size() == inst.horizon());
+  double cost = 0.0;
+  double prev = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    cost += inst.price[t] * x[t];
+    if (x[t] > prev) cost += inst.reconfig * (x[t] - prev);
+    prev = x[t];
+  }
+  return cost;
+}
+
+double single_violation(const SingleResourceInstance& inst, const Vec& x) {
+  double worst = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    worst = std::max(worst, inst.demand[t] - x[t]);
+    worst = std::max(worst, x[t] - inst.capacity);
+  }
+  return worst;
+}
+
+Vec single_roa(const SingleResourceInstance& inst, double eps) {
+  inst.validate();
+  SORA_CHECK(eps > 0.0);
+  Vec x(inst.horizon());
+  double prev = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double decay = decay_point(prev, inst.price[t], inst.reconfig,
+                                     inst.capacity, eps);
+    x[t] = std::max(inst.demand[t], std::max(decay, 0.0));
+    prev = x[t];
+  }
+  return x;
+}
+
+Vec single_greedy(const SingleResourceInstance& inst) {
+  inst.validate();
+  return inst.demand;
+}
+
+namespace {
+
+// Offline optimum over slots [t0, t1) given x_{t0-1} = prev; optionally pin
+// the final slot. Returns the plan for the window.
+Vec offline_window(const SingleResourceInstance& inst, std::size_t t0,
+                   std::size_t t1, double prev) {
+  LpBuilder b;
+  const std::size_t w = t1 - t0;
+  // x variables then u variables.
+  for (std::size_t k = 0; k < w; ++k)
+    b.add_variable(inst.demand[t0 + k], inst.capacity, inst.price[t0 + k]);
+  for (std::size_t k = 0; k < w; ++k)
+    b.add_variable(0.0, kInf, inst.reconfig);
+  for (std::size_t k = 0; k < w; ++k) {
+    std::vector<LinTerm> terms{{w + k, 1.0}, {k, -1.0}};
+    if (k > 0) terms.push_back({k - 1, 1.0});
+    b.add_ge(terms, k > 0 ? 0.0 : -prev);
+  }
+  const auto sol = solver::solve_simplex(b.build());
+  SORA_CHECK_MSG(sol.ok(), "single-resource window LP failed: " + sol.detail);
+  return Vec(sol.x.begin(), sol.x.begin() + static_cast<std::ptrdiff_t>(w));
+}
+
+}  // namespace
+
+Vec single_offline(const SingleResourceInstance& inst) {
+  inst.validate();
+  return offline_window(inst, 0, inst.horizon(), 0.0);
+}
+
+Vec single_lcp(const SingleResourceInstance& inst) {
+  inst.validate();
+  Vec x(inst.horizon());
+  double prev = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double lower = inst.demand[t];
+    // Reverse-reconfiguration one-shot: min a_t x + b [prev - x]^+ over
+    // x in [lambda_t, C]. While a_t < b it pays to stay at prev.
+    const double upper = inst.price[t] < inst.reconfig
+                             ? std::max(inst.demand[t], prev)
+                             : inst.demand[t];
+    // Lazy principle: move only when pushed out of the band [lower, upper].
+    x[t] = std::max(lower, std::min(prev, upper));
+    prev = x[t];
+  }
+  return x;
+}
+
+Vec single_fhc(const SingleResourceInstance& inst, std::size_t w) {
+  inst.validate();
+  SORA_CHECK(w >= 1);
+  Vec x;
+  x.reserve(inst.horizon());
+  double prev = 0.0;
+  for (std::size_t t0 = 0; t0 < inst.horizon(); t0 += w) {
+    const std::size_t t1 = std::min(inst.horizon(), t0 + w);
+    const Vec block = offline_window(inst, t0, t1, prev);
+    for (double v : block) x.push_back(v);
+    prev = x.back();
+  }
+  return x;
+}
+
+Vec single_rhc(const SingleResourceInstance& inst, std::size_t w) {
+  inst.validate();
+  SORA_CHECK(w >= 1);
+  Vec x(inst.horizon());
+  double prev = 0.0;
+  for (std::size_t t = 0; t < inst.horizon(); ++t) {
+    const std::size_t t1 = std::min(inst.horizon(), t + w);
+    const Vec block = offline_window(inst, t, t1, prev);
+    x[t] = block[0];
+    prev = x[t];
+  }
+  return x;
+}
+
+double single_theoretical_ratio(const SingleResourceInstance& inst,
+                                double eps) {
+  SORA_CHECK(eps > 0.0);
+  return 1.0 + (inst.capacity + eps) * regularizer_eta(inst.capacity, eps);
+}
+
+}  // namespace sora::core

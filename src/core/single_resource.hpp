@@ -1,0 +1,70 @@
+// The single-resource specialization of the smoothed online problem
+// (paper eq. (4)-(6)):
+//
+//   min sum_t a_t x_t + b [x_t - x_{t-1}]^+   s.t. lambda_t <= x_t <= C.
+//
+// This is the analytically tractable core the paper uses for its geometric
+// interpretation (Sec. III-C) and worst-case constructions (Lemma 2,
+// Theorems 2-3). We provide:
+//   * the closed-form ROA recursion (exponential decay),
+//   * the greedy (follow-the-workload) policy,
+//   * an exact offline optimum (LP),
+//   * the Lazy Capacity Provisioning policy (LCP, Lin et al. [12]), and
+//   * FHC/RHC on this model (for the worst-case benches).
+//
+// These closed forms double as oracles for the property tests of the full
+// two-tier solver.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace sora::core {
+
+struct SingleResourceInstance {
+  linalg::Vec demand;  // lambda_t, t = 0..T-1
+  linalg::Vec price;   // a_t > 0
+  double reconfig = 1.0;  // b > 0
+  double capacity = 1.0;  // C >= max_t lambda_t
+
+  std::size_t horizon() const { return demand.size(); }
+  void validate() const;  // throws CheckError on malformed data
+};
+
+/// Total cost of a feasible plan (x_0- = 0).
+double single_total_cost(const SingleResourceInstance& inst,
+                         const linalg::Vec& x);
+
+/// Worst constraint violation of a plan (0 when feasible).
+double single_violation(const SingleResourceInstance& inst,
+                        const linalg::Vec& x);
+
+/// Closed-form ROA: x_t = max(lambda_t, decay_point(x_{t-1})). (Sec. III-C)
+linalg::Vec single_roa(const SingleResourceInstance& inst, double eps);
+
+/// Greedy one-shot: follows the workload whenever the operating price is
+/// positive (x_t = lambda_t).
+linalg::Vec single_greedy(const SingleResourceInstance& inst);
+
+/// Exact offline optimum via LP.
+linalg::Vec single_offline(const SingleResourceInstance& inst);
+
+/// Lazy Capacity Provisioning: x_t = max(x^L_t, min(x_{t-1}, x^U_t)), with
+/// x^L_t = lambda_t (cheapest instantaneous cover) and x^U_t the optimum of
+/// the reverse-reconfiguration one-shot (stay high while a_t < b).
+linalg::Vec single_lcp(const SingleResourceInstance& inst);
+
+/// FHC with prediction window w (exact predictions): solves each
+/// non-overlapping w-slot block optimally given the previous decision.
+linalg::Vec single_fhc(const SingleResourceInstance& inst, std::size_t w);
+
+/// RHC with window w: per-slot receding-horizon solve, applies first slot.
+linalg::Vec single_rhc(const SingleResourceInstance& inst, std::size_t w);
+
+/// Theorem 1 specialised: r = 1 + (C + eps) ln(1 + C/eps) (single resource,
+/// |I| = 1, no network edges).
+double single_theoretical_ratio(const SingleResourceInstance& inst,
+                                double eps);
+
+}  // namespace sora::core

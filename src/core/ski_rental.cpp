@@ -1,0 +1,67 @@
+#include "core/ski_rental.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sora::core {
+
+double ski_cost(const SkiRentalInstance& inst, std::size_t buy_slot) {
+  SORA_CHECK(inst.ski_days <= inst.rent.size());
+  double cost = 0.0;
+  for (std::size_t t = 0; t < inst.ski_days && t < buy_slot; ++t)
+    cost += inst.rent[t];
+  if (buy_slot < inst.ski_days) cost += inst.buy;
+  return cost;
+}
+
+double ski_offline(const SkiRentalInstance& inst) {
+  double rent_all = 0.0;
+  for (std::size_t t = 0; t < inst.ski_days; ++t) rent_all += inst.rent[t];
+  return std::min(rent_all, inst.buy);
+}
+
+std::size_t ski_break_even_slot(const SkiRentalInstance& inst) {
+  // Accumulation rule: buy at the start of the first slot where the rent
+  // already paid has reached the purchase price.
+  double paid = 0.0;
+  for (std::size_t t = 0; t < inst.rent.size(); ++t) {
+    if (paid >= inst.buy) return t;
+    paid += inst.rent[t];
+  }
+  return inst.rent.size();
+}
+
+double ski_break_even_ratio(const SkiRentalInstance& inst) {
+  const double offline = ski_offline(inst);
+  SORA_CHECK(offline > 0.0);
+  return ski_cost(inst, ski_break_even_slot(inst)) / offline;
+}
+
+SkiRentalInstance classic_worst_case(double buy) {
+  SORA_CHECK(buy >= 1.0);
+  SkiRentalInstance inst;
+  inst.buy = buy;
+  // Constant rent 1; the adversary ends the season right after the
+  // break-even purchase.
+  const std::size_t break_even = static_cast<std::size_t>(buy);
+  inst.rent.assign(break_even + 1, 1.0);
+  inst.ski_days = break_even + 1;
+  return inst;
+}
+
+SkiRentalInstance time_varying_worst_case(double buy, double spike) {
+  SORA_CHECK(buy > 0.0 && spike > 0.0);
+  SkiRentalInstance inst;
+  inst.buy = buy;
+  // Rent just below break-even across n cheap slots, then one huge spike:
+  // the accumulation rule is still renting when the spike hits, while the
+  // offline optimum simply buys up front.
+  const std::size_t cheap_slots = 16;
+  inst.rent.assign(cheap_slots, 0.99 * buy / cheap_slots);
+  inst.rent.push_back(spike);
+  inst.ski_days = cheap_slots + 1;
+  return inst;
+}
+
+}  // namespace sora::core

@@ -1,0 +1,58 @@
+// The ski-rental connection (paper Sec. III-D remark).
+//
+// The single-resource smoothed problem is a continuous ski-rental variant:
+// holding one unit of capacity for a slot "rents" at the operating price
+// a_t, while ramping capacity up "buys" at the reconfiguration price b. In
+// the classic problem (constant rent a), the break-even deterministic
+// algorithm (rent until the paid rent equals the purchase price, then buy)
+// is 2-competitive. The paper's remark: with TIME-VARYING, unbounded rental
+// prices the best deterministic ratio degrades — which hints that the
+// capacity-parameterized ratio of Theorem 1 is the right kind of guarantee
+// for the cloud setting.
+//
+// This module provides the classic problem, the break-even algorithm, and
+// the adversarial time-varying-price construction demonstrating the remark.
+// The break-even rule here is the no-peek accumulation rule (commit to
+// renting a slot before its price is charged — a VM must be up before the
+// hour's spot price applies); under constant unit rents it achieves
+// 2 + 1/buy (exactly 2 at integer buy), while a single price spike makes
+// its ratio grow without bound.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace sora::core {
+
+struct SkiRentalInstance {
+  linalg::Vec rent;      // rental price per slot (classic: all equal)
+  double buy = 1.0;      // purchase price
+  std::size_t ski_days = 0;  // the adversary stops after this many slots
+                             // (ski_days <= rent.size())
+};
+
+/// Cost of a policy that buys at the START of slot `buy_slot` (buy_slot ==
+/// ski_days means "never buys in time"): rents before, owns afterwards.
+double ski_cost(const SkiRentalInstance& inst, std::size_t buy_slot);
+
+/// Offline optimum: min(total rent over the season, buy immediately).
+double ski_offline(const SkiRentalInstance& inst);
+
+/// Break-even deterministic rule: buy at the first slot where the
+/// accumulated rent would reach the purchase price. Returns the buy slot.
+std::size_t ski_break_even_slot(const SkiRentalInstance& inst);
+
+/// Competitive ratio of the break-even rule on this instance.
+double ski_break_even_ratio(const SkiRentalInstance& inst);
+
+/// Classic instance: constant rent 1, purchase price `buy`, adversary stops
+/// right after the break-even buy (the classic worst case, ratio -> 2).
+SkiRentalInstance classic_worst_case(double buy);
+
+/// The paper's variant: rents spike by `spike` at the adversarially chosen
+/// slot, making any deterministic break-even-style rule pay ~spike more.
+/// Ratio grows with `spike` — unbounded as the price becomes unbounded.
+SkiRentalInstance time_varying_worst_case(double buy, double spike);
+
+}  // namespace sora::core

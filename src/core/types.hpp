@@ -1,0 +1,52 @@
+// Shared decision types for the two-tier problem P1.
+//
+// A slot decision ("Allocation") holds, per admissible (j, i) edge e:
+//   x[e] — tier-2 cloud resources allocated at i for workload from j (x_ijt)
+//   y[e] — network resources on the (i, j) link (y_ijt)
+//   z[e] — tier-1 processing resources at j for flow toward i (z_ijt);
+//          ignored (kept zero) unless the instance models the F_1 term.
+// The paper's auxiliary s_ijt is eliminated at this level: a decision covers
+// demand iff sum_{e in edges_of_tier1[j]} min(x[e], y[e][, z[e]]) >= lambda_jt.
+#pragma once
+
+#include <vector>
+
+#include "cloudnet/instance.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace sora::core {
+
+using cloudnet::Instance;
+using linalg::Vec;
+
+struct Allocation {
+  Vec x;  // per edge
+  Vec y;  // per edge
+  Vec z;  // per edge (only meaningful when Instance::has_tier1())
+
+  static Allocation zeros(std::size_t num_edges) {
+    return Allocation{Vec(num_edges, 0.0), Vec(num_edges, 0.0),
+                      Vec(num_edges, 0.0)};
+  }
+};
+
+struct Trajectory {
+  std::vector<Allocation> slots;  // one per time slot, slots[t] decides slot t
+
+  std::size_t horizon() const { return slots.size(); }
+};
+
+struct CostBreakdown {
+  double allocation = 0.0;
+  double reconfiguration = 0.0;
+
+  double total() const { return allocation + reconfiguration; }
+
+  CostBreakdown& operator+=(const CostBreakdown& o) {
+    allocation += o.allocation;
+    reconfiguration += o.reconfiguration;
+    return *this;
+  }
+};
+
+}  // namespace sora::core

@@ -1,0 +1,46 @@
+#include "eval/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sora::eval {
+
+SeedStats summarize(const std::vector<double>& values) {
+  SORA_CHECK(!values.empty());
+  SeedStats s;
+  s.samples = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0, sum2 = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum2 += v * v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  const double var =
+      std::max(0.0, sum2 / static_cast<double>(values.size()) -
+                        s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+SeedStats sweep_seeds(
+    const Scenario& base, const EvalScale& scale, std::size_t num_seeds,
+    const std::function<double(const core::Instance&)>& metric) {
+  SORA_CHECK(num_seeds > 0);
+  std::vector<double> values(num_seeds, 0.0);
+  util::parallel_for(0, num_seeds, [&](std::size_t k) {
+    Scenario sc = base;
+    sc.seed = base.seed + 1000 * (k + 1);
+    const core::Instance inst = build_eval_instance(sc, scale);
+    values[k] = metric(inst);
+  });
+  return summarize(values);
+}
+
+}  // namespace sora::eval

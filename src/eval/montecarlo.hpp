@@ -1,0 +1,33 @@
+// Multi-seed evaluation: the paper's figures are single-trace runs; for a
+// production claim we replicate each experiment across seeds (independent
+// synthetic traces + price draws) and report mean / min / max of the cost
+// ratios. Used by bench_seed_sensitivity and available to users who want
+// error bars on any scenario.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/scenarios.hpp"
+
+namespace sora::eval {
+
+struct SeedStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  std::size_t samples = 0;
+};
+
+SeedStats summarize(const std::vector<double>& values);
+
+/// Run `metric` for `num_seeds` seeds derived from base_seed; each call gets
+/// a Scenario whose seed differs (fresh trace + fresh prices). Runs in
+/// parallel on the shared pool.
+SeedStats sweep_seeds(const Scenario& base, const EvalScale& scale,
+                      std::size_t num_seeds,
+                      const std::function<double(const core::Instance&)>& metric);
+
+}  // namespace sora::eval

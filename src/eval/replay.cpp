@@ -1,0 +1,64 @@
+#include "eval/replay.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sora::eval {
+
+ReplayReport replay_trajectory(const core::Instance& inst,
+                               const core::Trajectory& traj,
+                               double drop_tol) {
+  SORA_CHECK(traj.horizon() <= inst.horizon);
+  ReplayReport report;
+  report.slots.reserve(traj.horizon());
+
+  double util_x_sum = 0.0, util_y_sum = 0.0;
+  double alloc_x_sum = 0.0;
+  const bool with_z = inst.has_tier1();
+
+  for (std::size_t t = 0; t < traj.horizon(); ++t) {
+    const auto& alloc = traj.slots[t];
+    SlotReplay slot;
+    double alloc_x = 0.0, alloc_y = 0.0;
+    for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+      const double demand = inst.demand[t][j];
+      slot.demand += demand;
+      double capacity = 0.0;
+      for (const std::size_t e : inst.edges_of_tier1[j]) {
+        double m = std::min(alloc.x[e], alloc.y[e]);
+        if (with_z) m = std::min(m, alloc.z[e]);
+        capacity += m;
+      }
+      slot.served += std::min(demand, capacity);
+    }
+    slot.dropped = slot.demand - slot.served;
+    for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+      alloc_x += alloc.x[e];
+      alloc_y += alloc.y[e];
+    }
+    slot.tier2_utilization = alloc_x > 0.0 ? slot.served / alloc_x : 0.0;
+    slot.edge_utilization = alloc_y > 0.0 ? slot.served / alloc_y : 0.0;
+
+    report.total_demand += slot.demand;
+    report.total_served += slot.served;
+    if (slot.dropped > drop_tol) ++report.violation_slots;
+    util_x_sum += slot.tier2_utilization;
+    util_y_sum += slot.edge_utilization;
+    alloc_x_sum += alloc_x;
+    report.slots.push_back(slot);
+  }
+
+  const double n = static_cast<double>(std::max<std::size_t>(1, traj.horizon()));
+  report.drop_rate = report.total_demand > 0.0
+                         ? (report.total_demand - report.total_served) /
+                               report.total_demand
+                         : 0.0;
+  report.mean_tier2_utilization = util_x_sum / n;
+  report.mean_edge_utilization = util_y_sum / n;
+  report.overprovision_factor =
+      report.total_served > 0.0 ? alloc_x_sum / report.total_served : 0.0;
+  return report;
+}
+
+}  // namespace sora::eval

@@ -1,0 +1,42 @@
+// Service replay: simulate serving the TRUE workload with a given decision
+// trajectory and report the operational metrics an operator would watch —
+// served/dropped demand, per-resource utilization, SLA violation slots, and
+// over-provisioning waste. This is the "what would production have seen"
+// view that complements the cost objective: two trajectories with similar
+// cost can differ sharply in drop behaviour under noisy planning.
+//
+// Serving model per slot: each tier-1 cloud j routes its demand across its
+// SLA edges; edge e can serve min(x_e, y_e[, z_e]) units (the paper's (1a)
+// coverage semantics). Demand beyond the total serviceable capacity of j's
+// edges is dropped.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace sora::eval {
+
+struct SlotReplay {
+  double demand = 0.0;        // total true demand
+  double served = 0.0;        // total demand served
+  double dropped = 0.0;       // demand - served
+  double tier2_utilization = 0.0;  // served work / allocated x (aggregate)
+  double edge_utilization = 0.0;   // served work / allocated y
+};
+
+struct ReplayReport {
+  std::vector<SlotReplay> slots;
+  double total_demand = 0.0;
+  double total_served = 0.0;
+  double drop_rate = 0.0;          // dropped / demand
+  std::size_t violation_slots = 0; // slots with any drop > tol
+  double mean_tier2_utilization = 0.0;
+  double mean_edge_utilization = 0.0;
+  double overprovision_factor = 0.0;  // allocated / served (x aggregate)
+};
+
+/// Replay a trajectory against the instance's true demand.
+ReplayReport replay_trajectory(const core::Instance& inst,
+                               const core::Trajectory& traj,
+                               double drop_tol = 1e-6);
+
+}  // namespace sora::eval

@@ -1,0 +1,42 @@
+#include "eval/report.hpp"
+
+#include <filesystem>
+#include <iostream>
+
+#include "util/logging.hpp"
+
+namespace sora::eval {
+
+void print_banner(const std::string& experiment, const EvalScale& scale,
+                  std::uint64_t seed) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "scale: " << (scale.full ? "full (REPRO_FULL=1)" : "reduced")
+            << "  tier2=" << scale.num_tier2 << " tier1=" << scale.num_tier1
+            << "  T_wiki=" << scale.horizon_wikipedia
+            << " T_worldcup=" << scale.horizon_worldcup << "  seed=" << seed
+            << "\n";
+}
+
+std::string write_results_csv(const std::string& name,
+                              const util::CsvWriter& csv) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("results", ec);
+  if (ec) {
+    SORA_LOG_WARN << "cannot create results/: " << ec.message();
+    return {};
+  }
+  const std::string path = "results/" + name + ".csv";
+  csv.write_file(path);
+  return path;
+}
+
+void emit(const std::string& name, const util::TablePrinter& table,
+          const util::CsvWriter& csv) {
+  table.print(std::cout);
+  const std::string path = write_results_csv(name, csv);
+  if (!path.empty()) std::cout << "(series written to " << path << ")\n";
+  std::cout << "\n";
+}
+
+}  // namespace sora::eval

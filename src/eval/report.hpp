@@ -1,0 +1,28 @@
+// Reporting helpers for the bench binaries: consistent run headers, table
+// printing, and CSV persistence under ./results/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/scenarios.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace sora::eval {
+
+/// Print the standard run banner: binary, scale, seed — everything needed
+/// to reproduce the numbers below it.
+void print_banner(const std::string& experiment, const EvalScale& scale,
+                  std::uint64_t seed);
+
+/// Write a CSV under ./results/<name>.csv (directory created on demand).
+/// Returns the path, or empty string if the directory could not be created.
+std::string write_results_csv(const std::string& name,
+                              const util::CsvWriter& csv);
+
+/// Convenience: print a table and mirror it into results/<name>.csv.
+void emit(const std::string& name, const util::TablePrinter& table,
+          const util::CsvWriter& csv);
+
+}  // namespace sora::eval

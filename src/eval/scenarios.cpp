@@ -1,0 +1,62 @@
+#include "eval/scenarios.hpp"
+
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+namespace sora::eval {
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::kWikipedia: return "wikipedia";
+    case Workload::kWorldCup: return "worldcup";
+  }
+  return "?";
+}
+
+EvalScale EvalScale::from_env() {
+  EvalScale scale;
+  if (util::env_flag("REPRO_FULL")) {
+    scale.num_tier2 = 18;
+    scale.num_tier1 = 48;
+    scale.horizon_wikipedia = 500;
+    scale.horizon_worldcup = 600;
+    scale.full = true;
+  }
+  return scale;
+}
+
+core::Instance build_eval_instance(const Scenario& scenario,
+                                   const EvalScale& scale) {
+  util::Rng rng(scenario.seed);
+  cloudnet::WorkloadTrace trace;
+  switch (scenario.workload) {
+    case Workload::kWikipedia:
+      trace = cloudnet::wikipedia_like(scale.horizon_wikipedia, rng);
+      break;
+    case Workload::kWorldCup:
+      trace = cloudnet::worldcup_like(scale.horizon_worldcup, rng);
+      break;
+  }
+  cloudnet::InstanceConfig cfg;
+  cfg.num_tier2 = scale.num_tier2;
+  cfg.num_tier1 = scale.num_tier1;
+  cfg.sla_k = scenario.sla_k;
+  cfg.reconfig_weight = scenario.reconfig_weight;
+  cfg.seed = scenario.seed + 17;
+  return cloudnet::build_instance(cfg, trace);
+}
+
+solver::LpSolveOptions offline_lp_options(const EvalScale& scale) {
+  solver::LpSolveOptions lp;
+  lp.method = solver::LpMethod::kPdhg;
+  // At full scale, trade a little accuracy for wall-clock: cost ratios in
+  // the paper are reported to ~2 digits.
+  lp.pdhg.eps_rel = scale.full ? 3e-5 : 2e-5;
+  lp.pdhg.max_iterations = scale.full ? 400000 : 300000;
+  // Cost ratios are reported to ~2 digits; accept a stalled tail within
+  // 20x the tolerance (worst case ~4e-4 relative KKT error).
+  lp.pdhg.accept_factor = 20.0;
+  return lp;
+}
+
+}  // namespace sora::eval

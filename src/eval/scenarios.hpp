@@ -1,0 +1,53 @@
+// Standard evaluation scenarios reproducing the paper's Sec. V setup.
+//
+// Two scales:
+//   * reduced (default): 6 tier-2 clouds x 12 tier-1 clouds, shortened
+//     horizons — every bench binary finishes in seconds to a few minutes.
+//   * full (REPRO_FULL=1): the paper's 18 x 48 topology with 500-hour
+//     (Wikipedia-like) and 600-hour (WorldCup-like) traces; offline optima
+//     are solved with the first-order PDHG solver.
+//
+// The workloads are synthetic stand-ins for the paper's traces (see
+// DESIGN.md substitution table); seeds make every run reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloudnet/instance.hpp"
+#include "core/types.hpp"
+#include "solver/lp_solve.hpp"
+
+namespace sora::eval {
+
+enum class Workload { kWikipedia, kWorldCup };
+
+const char* to_string(Workload w);
+
+struct EvalScale {
+  std::size_t num_tier2 = 6;
+  std::size_t num_tier1 = 12;
+  std::size_t horizon_wikipedia = 120;
+  std::size_t horizon_worldcup = 150;
+  bool full = false;
+
+  /// reduced scale unless REPRO_FULL is truthy.
+  static EvalScale from_env();
+};
+
+struct Scenario {
+  Workload workload = Workload::kWikipedia;
+  double reconfig_weight = 1e3;  // the paper's b
+  std::size_t sla_k = 1;
+  std::uint64_t seed = 20160704;
+};
+
+/// Build the instance for a scenario at the given scale.
+core::Instance build_eval_instance(const Scenario& scenario,
+                                   const EvalScale& scale);
+
+/// LP options for the multi-slot offline/window solves at this scale
+/// (simplex for tiny models, PDHG for everything else).
+solver::LpSolveOptions offline_lp_options(const EvalScale& scale);
+
+}  // namespace sora::eval

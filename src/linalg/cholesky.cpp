@@ -1,0 +1,81 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sora::linalg {
+namespace {
+
+// In-place lower Cholesky; returns false on a non-positive pivot.
+bool cholesky_in_place(Matrix& a) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      const double* arow = a.row_ptr(i);
+      const double* jrow = a.row_ptr(j);
+      for (std::size_t k = 0; k < j; ++k) v -= arow[k] * jrow[k];
+      a(i, j) = v * inv;
+    }
+  }
+  // Zero the strict upper triangle so the factor is clean.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j2 = i + 1; j2 < n; ++j2) a(i, j2) = 0.0;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  SORA_CHECK(a.rows() == a.cols());
+  Matrix l = a;
+  if (!cholesky_in_place(l)) return std::nullopt;
+  return Cholesky(std::move(l), 0.0);
+}
+
+Cholesky Cholesky::factor_regularized(const Matrix& a, double initial_shift,
+                                      double max_shift) {
+  SORA_CHECK(a.rows() == a.cols());
+  for (double v : a.data())
+    SORA_CHECK_MSG(std::isfinite(v), "non-finite entry in Cholesky input");
+  {
+    Matrix l = a;
+    if (cholesky_in_place(l)) return Cholesky(std::move(l), 0.0);
+  }
+  for (double shift = initial_shift; shift <= max_shift; shift *= 10.0) {
+    Matrix l = a;
+    for (std::size_t i = 0; i < l.rows(); ++i) l(i, i) += shift;
+    if (cholesky_in_place(l)) return Cholesky(std::move(l), shift);
+  }
+  SORA_CHECK_MSG(false, "Cholesky failed even with maximum diagonal shift");
+}
+
+Vec Cholesky::solve(const Vec& b) const {
+  const std::size_t n = l_.rows();
+  SORA_CHECK(b.size() == n);
+  Vec y(n);
+  // Forward: L y = b
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    const double* row = l_.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) v -= row[k] * y[k];
+    y[i] = v / row[i];
+  }
+  // Backward: L^T x = y
+  Vec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l_(k, ii) * x[k];
+    x[ii] = v / l_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace sora::linalg

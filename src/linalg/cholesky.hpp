@@ -1,0 +1,40 @@
+// Cholesky factorization for the symmetric positive-definite Newton systems
+// of the interior-point solver. Includes a regularized variant that adds a
+// diagonal shift when the matrix is only positive semi-definite numerically.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace sora::linalg {
+
+/// Lower-triangular Cholesky factor; solve() does the two triangular sweeps.
+class Cholesky {
+ public:
+  /// Factor A (symmetric, only the lower triangle is read). Returns nullopt
+  /// if A is not numerically positive definite.
+  static std::optional<Cholesky> factor(const Matrix& a);
+
+  /// Factor A + shift*I, escalating shift by 10x (up to max_shift) until the
+  /// factorization succeeds. Used by the IPM when the Hessian is singular at
+  /// the boundary. Throws CheckError if even max_shift fails.
+  static Cholesky factor_regularized(const Matrix& a, double initial_shift,
+                                     double max_shift);
+
+  /// Solve A x = b.
+  Vec solve(const Vec& b) const;
+
+  /// The diagonal shift that was actually applied (0 for plain factor()).
+  double applied_shift() const { return shift_; }
+
+  std::size_t dim() const { return l_.rows(); }
+
+ private:
+  explicit Cholesky(Matrix l, double shift) : l_(std::move(l)), shift_(shift) {}
+
+  Matrix l_;  // lower-triangular factor
+  double shift_ = 0.0;
+};
+
+}  // namespace sora::linalg

@@ -1,0 +1,75 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace sora::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vec Matrix::multiply(const Vec& x) const {
+  SORA_CHECK(x.size() == cols_);
+  Vec y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_ptr(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vec Matrix::multiply_transpose(const Vec& x) const {
+  SORA_CHECK(x.size() == rows_);
+  Vec y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_ptr(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& b) const {
+  SORA_CHECK(cols_ == b.rows_);
+  Matrix c(rows_, b.cols_);
+  // ikj order: streams through b rows, cache-friendly for row-major data.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* crow = c.row_ptr(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+void Matrix::add_diagonal(const Vec& d, double alpha) {
+  const std::size_t n = std::min(rows_, cols_);
+  SORA_CHECK(d.size() >= n);
+  for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += alpha * d[i];
+}
+
+double Matrix::norm_frobenius() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace sora::linalg

@@ -1,0 +1,116 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sora::linalg {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  m.row_offsets_.assign(rows + 1, 0);
+  m.col_indices_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t k = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.row_offsets_[r] = m.values_.size();
+    while (k < triplets.size() && triplets[k].row == r) {
+      const std::size_t c = triplets[k].col;
+      SORA_CHECK(c < cols);
+      double v = 0.0;
+      while (k < triplets.size() && triplets[k].row == r &&
+             triplets[k].col == c) {
+        v += triplets[k].value;
+        ++k;
+      }
+      if (v != 0.0) {
+        m.col_indices_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+  }
+  SORA_CHECK_MSG(k == triplets.size(), "triplet row index out of range");
+  m.row_offsets_[rows] = m.values_.size();
+  return m;
+}
+
+Vec SparseMatrix::multiply(const Vec& x) const {
+  SORA_CHECK(x.size() == cols_);
+  Vec y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
+      acc += values_[k] * x[col_indices_[k]];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vec SparseMatrix::multiply_transpose(const Vec& x) const {
+  SORA_CHECK(x.size() == rows_);
+  Vec y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
+      y[col_indices_[k]] += values_[k] * xr;
+  }
+  return y;
+}
+
+Vec SparseMatrix::row_abs_sums(double p) const {
+  Vec s(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const double a = std::fabs(values_[k]);
+      if (p == 0.0)
+        acc = std::max(acc, a);
+      else
+        acc += std::pow(a, p);
+    }
+    s[r] = acc;
+  }
+  return s;
+}
+
+Vec SparseMatrix::col_abs_sums(double p) const {
+  Vec s(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const double a = std::fabs(values_[k]);
+      double& cell = s[col_indices_[k]];
+      if (p == 0.0)
+        cell = std::max(cell, a);
+      else
+        cell += std::pow(a, p);
+    }
+  }
+  return s;
+}
+
+double SparseMatrix::max_abs() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void SparseMatrix::scale(const Vec& dr, const Vec& dc) {
+  SORA_CHECK(dr.size() == rows_ && dc.size() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
+      values_[k] *= dr[r] * dc[col_indices_[k]];
+}
+
+}  // namespace sora::linalg

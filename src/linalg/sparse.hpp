@@ -1,0 +1,86 @@
+// Compressed sparse row (CSR) matrix for the large, structured LPs (offline
+// optimum over hundreds of time slots). Built from triplets; supports the
+// operations the first-order PDHG solver needs: A x, A^T y, row/column
+// absolute sums (diagonal preconditioning), and Ruiz equilibration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace sora::linalg {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Build from triplets; duplicate (row, col) entries are summed, zeros
+  /// dropped.
+  static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                    std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x
+  Vec multiply(const Vec& x) const;
+  /// y = A^T x
+  Vec multiply_transpose(const Vec& x) const;
+
+  /// Per-row sum of |a_ij|^p (p in {1, 2, inf-as-0: max}).
+  Vec row_abs_sums(double p) const;
+  /// Per-column sum of |a_ij|^p.
+  Vec col_abs_sums(double p) const;
+
+  /// Largest |a_ij|.
+  double max_abs() const;
+
+  /// Scale rows by dr and columns by dc in place: A <- diag(dr) A diag(dc).
+  void scale(const Vec& dr, const Vec& dc);
+
+  /// CSR internals (exposed for tests and custom kernels).
+  const std::vector<std::size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<std::size_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  // size rows_+1
+  std::vector<std::size_t> col_indices_;
+  std::vector<double> values_;
+};
+
+/// Incremental builder used by the LP model assembler.
+class TripletBuilder {
+ public:
+  TripletBuilder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  void add(std::size_t row, std::size_t col, double value) {
+    SORA_DCHECK(row < rows_ && col < cols_);
+    if (value != 0.0) triplets_.push_back({row, col, value});
+  }
+
+  SparseMatrix build() && {
+    return SparseMatrix::from_triplets(rows_, cols_, std::move(triplets_));
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace sora::linalg

@@ -1,0 +1,74 @@
+// Dense vector = std::vector<double>, plus the handful of BLAS-1 helpers the
+// solvers need. Free functions keep the representation open (tests construct
+// vectors with initializer lists; solvers resize in place).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sora::linalg {
+
+using Vec = std::vector<double>;
+
+inline double dot(const Vec& a, const Vec& b) {
+  SORA_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// y += alpha * x
+inline void axpy(double alpha, const Vec& x, Vec& y) {
+  SORA_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void scale(Vec& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+inline double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+inline double norm_inf(const Vec& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+inline Vec operator+(const Vec& a, const Vec& b) {
+  SORA_DCHECK(a.size() == b.size());
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+inline Vec operator-(const Vec& a, const Vec& b) {
+  SORA_DCHECK(a.size() == b.size());
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+inline Vec operator*(double alpha, const Vec& a) {
+  Vec r(a);
+  scale(r, alpha);
+  return r;
+}
+
+/// max(x, 0) elementwise — the paper's [·]^+ applied to a vector.
+inline Vec positive_part(const Vec& x) {
+  Vec r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) r[i] = x[i] > 0.0 ? x[i] : 0.0;
+  return r;
+}
+
+inline double sum(const Vec& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+}  // namespace sora::linalg

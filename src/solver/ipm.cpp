@@ -1,0 +1,194 @@
+#include "solver/ipm.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "solver/lp.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace sora::solver {
+namespace {
+
+using linalg::Cholesky;
+using linalg::Matrix;
+using linalg::Vec;
+
+// Slacks s = h - Gx; all must stay strictly positive.
+Vec slacks(const Matrix& g, const Vec& h, const Vec& x) {
+  Vec s = h;
+  const Vec gx = g.multiply(x);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] -= gx[i];
+  return s;
+}
+
+double min_slack(const Vec& s) {
+  double m = kInf;
+  for (double v : s) m = std::min(m, v);
+  return m;
+}
+
+// phi(x) = -sum log s_i
+double barrier_value(const Vec& s) {
+  double v = 0.0;
+  for (double si : s) v -= std::log(si);
+  return v;
+}
+
+}  // namespace
+
+IpmResult solve_barrier(const ConvexObjective& objective, const Matrix& g,
+                        const Vec& h, const Vec& x0, const IpmOptions& options) {
+  const std::size_t n = x0.size();
+  const std::size_t m = g.rows();
+  SORA_CHECK(g.cols() == n && h.size() == m);
+
+  IpmResult result;
+  Vec x = x0;
+  {
+    const Vec s0 = slacks(g, h, x);
+    if (min_slack(s0) <= 0.0) {
+      result.status = SolveStatus::kNumericalError;
+      result.detail = "starting point not strictly feasible (min slack " +
+                      std::to_string(min_slack(s0)) + ")";
+      result.x = x;
+      return result;
+    }
+  }
+
+  double t = options.t0;
+  std::size_t newton_budget = options.max_newton_steps;
+  std::size_t steps_used = 0;
+  // Last point where the Newton decrement certified convergence to the
+  // central path, with its barrier multiplier. Dual recovery 1/(t*s) is only
+  // trustworthy at such points; line-search stalls at extreme t would
+  // otherwise poison the multipliers.
+  Vec centered_x;
+  double centered_t = 0.0;
+
+  while (true) {
+    // ---- Center for the current t with damped Newton.
+    bool centered = false;
+    std::size_t steps_this_center = 0;
+    while (newton_budget > 0 &&
+           steps_this_center < options.max_steps_per_center) {
+      ++steps_this_center;
+      const Vec s = slacks(g, h, x);
+      // Gradient of t f + phi: t grad f + G^T (1/s).
+      Vec grad = objective.gradient(x);
+      linalg::scale(grad, t);
+      // Floor the slacks inside the derivative assembly: a slack driven to
+      // ~1e-14 would otherwise produce ~1e28 Hessian entries and destroy the
+      // factorization. The line search still treats the true slacks.
+      Vec inv_s(m);
+      for (std::size_t i = 0; i < m; ++i)
+        inv_s[i] = 1.0 / std::max(s[i], 1e-12);
+      const Vec gt_inv_s = g.multiply_transpose(inv_s);
+      for (std::size_t j = 0; j < n; ++j) grad[j] += gt_inv_s[j];
+
+      // Hessian: t H_f + G^T diag(1/s^2) G.
+      Matrix hess = objective.hessian(x);
+      for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) hess(r, c) *= t;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double w = inv_s[i] * inv_s[i];
+        const double* grow = g.row_ptr(i);
+        for (std::size_t r = 0; r < n; ++r) {
+          const double gr = grow[r];
+          if (gr == 0.0) continue;
+          double* hrow = hess.row_ptr(r);
+          const double wgr = w * gr;
+          for (std::size_t c = 0; c < n; ++c) hrow[c] += wgr * grow[c];
+        }
+      }
+
+      const Cholesky chol =
+          Cholesky::factor_regularized(hess, 1e-12, 1e16);
+      Vec neg_grad(n);
+      for (std::size_t j = 0; j < n; ++j) neg_grad[j] = -grad[j];
+      const Vec dx = chol.solve(neg_grad);
+
+      const double decrement2 = -linalg::dot(grad, dx);  // lambda^2
+      --newton_budget;
+      ++steps_used;
+      if (decrement2 / 2.0 <= options.newton_tol) {
+        centered = true;
+        centered_x = x;
+        centered_t = t;
+        break;
+      }
+
+      // ---- Backtracking line search on t f + phi, keeping s > 0.
+      double step = 1.0;
+      {
+        // First shrink until strictly feasible.
+        const Vec gdx = g.multiply(dx);
+        for (std::size_t i = 0; i < m; ++i) {
+          if (gdx[i] > 0.0) {
+            const double limit = s[i] / gdx[i];
+            if (0.99 * limit < step) step = 0.99 * limit;
+          }
+        }
+      }
+      const double f0 = t * objective.value(x) + barrier_value(s);
+      const double slope = linalg::dot(grad, dx);  // negative
+      bool moved = false;
+      for (int ls = 0; ls < 60; ++ls) {
+        Vec x_try = x;
+        linalg::axpy(step, dx, x_try);
+        const Vec s_try = slacks(g, h, x_try);
+        if (min_slack(s_try) > 0.0) {
+          const double f_try =
+              t * objective.value(x_try) + barrier_value(s_try);
+          if (f_try <= f0 + options.line_search_alpha * step * slope) {
+            x = std::move(x_try);
+            moved = true;
+            break;
+          }
+        }
+        step *= options.line_search_beta;
+      }
+      if (!moved) {
+        // Stuck: gradient/Hessian inconsistency at this scale. Treat the
+        // current point as centered; the outer loop decides if the gap is
+        // acceptable.
+        centered = true;
+        break;
+      }
+    }
+
+    if (options.log_progress) {
+      SORA_LOG_DEBUG << "ipm t=" << t << " gap<=" << (m / t)
+                     << " f=" << objective.value(x);
+    }
+
+    if (static_cast<double>(m) / t < options.tol) {
+      result.status = SolveStatus::kOptimal;
+      break;
+    }
+    if (newton_budget == 0) {
+      const double gap = static_cast<double>(m) / t;
+      result.status = gap < options.acceptable_gap
+                          ? SolveStatus::kOptimal
+                          : SolveStatus::kIterationLimit;
+      result.detail = "newton budget exhausted at gap " + std::to_string(gap);
+      break;
+    }
+    t *= options.mu;
+  }
+
+  result.x = x;
+  result.objective = objective.value(x);
+  result.newton_steps = steps_used;
+  // Multipliers from the last certified center (fall back to the final
+  // point when no centering ever converged).
+  const Vec& dual_point = centered_x.empty() ? x : centered_x;
+  const double dual_t = centered_x.empty() ? t : centered_t;
+  const Vec s = slacks(g, h, dual_point);
+  result.ineq_dual.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    result.ineq_dual[i] = 1.0 / (dual_t * std::max(s[i], 1e-300));
+  return result;
+}
+
+}  // namespace sora::solver

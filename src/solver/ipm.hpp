@@ -1,0 +1,74 @@
+// Barrier (path-following) interior-point method for smooth convex programs
+// over polyhedra:
+//
+//   minimize    f(x)            (f smooth, convex; value/gradient/Hessian)
+//   subject to  G x <= h        (dense constraint matrix)
+//
+// This solves the paper's regularized subproblem P2(t): f is linear
+// allocation cost plus the relative-entropy reconfiguration terms, and G/h
+// collect the coverage, feasibility-transfer (3d)/(3e), capacity, and
+// nonnegativity constraints.
+//
+// Classic primal barrier with Newton steps: minimize t f(x) - sum log(h-Gx),
+// backtracking line search that maintains strict feasibility, and outer
+// updates t <- mu t until the duality-gap bound m/t is below tolerance. The
+// caller must supply a strictly feasible starting point (see
+// core/p2_subproblem.cpp for the even-split construction + phase-I LP
+// fallback).
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+#include "solver/solution.hpp"
+
+namespace sora::solver {
+
+/// Smooth convex objective interface: callers implement value/gradient/
+/// Hessian at a point. Hessian must be symmetric PSD on the feasible set.
+class ConvexObjective {
+ public:
+  virtual ~ConvexObjective() = default;
+  virtual double value(const linalg::Vec& x) const = 0;
+  virtual linalg::Vec gradient(const linalg::Vec& x) const = 0;
+  virtual linalg::Matrix hessian(const linalg::Vec& x) const = 0;
+};
+
+struct IpmOptions {
+  double tol = 1e-8;            // target duality-gap bound m/t
+  double mu = 20.0;             // barrier multiplier growth per outer step
+  double t0 = 1.0;              // initial barrier multiplier
+  std::size_t max_newton_steps = 4000;  // total across all outer iterations
+  // Per-centering cap: the entropic subproblems converge linearly near the
+  // center (singular objective blocks), so instead of polishing each center
+  // we cap the inner loop and advance t — a long-step barrier scheme.
+  std::size_t max_steps_per_center = 40;
+  // Budget exhaustion with a gap below this is still reported optimal: the
+  // entropic subproblems have singular objective blocks (s-directions), so
+  // Newton converges linearly near the end and a slightly relaxed gap is the
+  // pragmatic stopping rule.
+  double acceptable_gap = 1e-3;
+  double newton_tol = 1e-9;     // Newton decrement^2 / 2 threshold
+  double line_search_alpha = 0.25;
+  double line_search_beta = 0.5;
+  bool log_progress = false;
+};
+
+struct IpmResult {
+  SolveStatus status = SolveStatus::kNumericalError;
+  linalg::Vec x;
+  linalg::Vec ineq_dual;  // lambda_i ≈ 1/(t s_i) at the final center
+  double objective = 0.0;
+  std::size_t newton_steps = 0;
+  std::string detail;
+
+  bool ok() const { return status == SolveStatus::kOptimal; }
+};
+
+/// x0 must satisfy G x0 < h strictly (checked). G is dense: rows are
+/// constraints.
+IpmResult solve_barrier(const ConvexObjective& objective,
+                        const linalg::Matrix& g, const linalg::Vec& h,
+                        const linalg::Vec& x0, const IpmOptions& options = {});
+
+}  // namespace sora::solver

@@ -1,0 +1,104 @@
+#include "solver/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sora::solver {
+
+void LpModel::validate() const {
+  const std::size_t n = num_vars();
+  const std::size_t m = num_rows();
+  SORA_CHECK(a.cols() == n);
+  SORA_CHECK(a.rows() == m);
+  SORA_CHECK(row_upper.size() == m);
+  SORA_CHECK(var_lower.size() == n && var_upper.size() == n);
+  for (std::size_t i = 0; i < m; ++i)
+    SORA_CHECK_MSG(row_lower[i] <= row_upper[i], "row bound crossover");
+  for (std::size_t j = 0; j < n; ++j)
+    SORA_CHECK_MSG(var_lower[j] <= var_upper[j], "variable bound crossover");
+}
+
+double LpModel::max_violation(const Vec& x) const {
+  double worst = 0.0;
+  const Vec ax = a.multiply(x);
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    if (std::isfinite(row_lower[i]))
+      worst = std::max(worst, row_lower[i] - ax[i]);
+    if (std::isfinite(row_upper[i]))
+      worst = std::max(worst, ax[i] - row_upper[i]);
+  }
+  for (std::size_t j = 0; j < num_vars(); ++j) {
+    if (std::isfinite(var_lower[j]))
+      worst = std::max(worst, var_lower[j] - x[j]);
+    if (std::isfinite(var_upper[j]))
+      worst = std::max(worst, x[j] - var_upper[j]);
+  }
+  return worst;
+}
+
+std::size_t LpBuilder::add_variable(double lower, double upper, double cost,
+                                    std::string name) {
+  SORA_CHECK_MSG(lower <= upper, "variable bound crossover: " + name);
+  const std::size_t idx = var_lower_.size();
+  var_lower_.push_back(lower);
+  var_upper_.push_back(upper);
+  cost_.push_back(cost);
+  var_names_.push_back(name.empty() ? "x" + std::to_string(idx)
+                                    : std::move(name));
+  return idx;
+}
+
+std::size_t LpBuilder::add_constraint(double lower, double upper,
+                                      std::vector<LinTerm> terms,
+                                      std::string name) {
+  SORA_CHECK_MSG(lower <= upper, "row bound crossover: " + name);
+  const std::size_t row = row_lower_.size();
+  row_lower_.push_back(lower);
+  row_upper_.push_back(upper);
+  row_names_.push_back(name.empty() ? "r" + std::to_string(row)
+                                    : std::move(name));
+  for (const LinTerm& term : terms) {
+    SORA_CHECK(term.var < num_vars());
+    triplets_.push_back({row, term.var, term.coeff});
+  }
+  return row;
+}
+
+std::size_t LpBuilder::add_ge(const std::vector<LinTerm>& terms, double rhs,
+                              std::string name) {
+  return add_constraint(rhs, kInf, terms, std::move(name));
+}
+
+std::size_t LpBuilder::add_le(const std::vector<LinTerm>& terms, double rhs,
+                              std::string name) {
+  return add_constraint(-kInf, rhs, terms, std::move(name));
+}
+
+std::size_t LpBuilder::add_eq(const std::vector<LinTerm>& terms, double rhs,
+                              std::string name) {
+  return add_constraint(rhs, rhs, terms, std::move(name));
+}
+
+void LpBuilder::add_cost(std::size_t var, double delta) {
+  SORA_CHECK(var < num_vars());
+  cost_[var] += delta;
+}
+
+LpModel LpBuilder::build() const {
+  LpModel model;
+  model.objective = cost_;
+  model.objective_offset = offset_;
+  model.row_lower = row_lower_;
+  model.row_upper = row_upper_;
+  model.var_lower = var_lower_;
+  model.var_upper = var_upper_;
+  model.a = SparseMatrix::from_triplets(
+      num_rows(), num_vars(),
+      std::vector<linalg::Triplet>(triplets_.begin(), triplets_.end()));
+  model.validate();
+  return model;
+}
+
+}  // namespace sora::solver

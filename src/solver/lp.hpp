@@ -1,0 +1,101 @@
+// Linear program model and builder.
+//
+// Canonical form used throughout the library:
+//
+//   minimize    c^T x + offset
+//   subject to  row_lower <= A x <= row_upper     (two-sided rows)
+//               var_lower <= x <= var_upper        (variable bounds)
+//
+// ±infinity encodes one-sided rows/bounds; row_lower == row_upper encodes an
+// equality. The builder assembles models with named variables so that the
+// cloud-network formulations (P1 slices, multi-slot offline LPs, window
+// re-optimizations) read close to the paper's notation.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace sora::solver {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using linalg::SparseMatrix;
+using linalg::Vec;
+
+struct LpModel {
+  Vec objective;          // c, size = num variables
+  double objective_offset = 0.0;
+  SparseMatrix a;         // rows x vars
+  Vec row_lower;
+  Vec row_upper;
+  Vec var_lower;
+  Vec var_upper;
+
+  std::size_t num_vars() const { return objective.size(); }
+  std::size_t num_rows() const { return row_lower.size(); }
+
+  /// Throws CheckError if dimensions mismatch or any lower > upper.
+  void validate() const;
+
+  /// Worst violation of rows+bounds at x (0 when feasible).
+  double max_violation(const Vec& x) const;
+
+  double objective_value(const Vec& x) const {
+    return linalg::dot(objective, x) + objective_offset;
+  }
+};
+
+/// One linear term: coefficient * variable.
+struct LinTerm {
+  std::size_t var;
+  double coeff;
+};
+
+class LpBuilder {
+ public:
+  LpBuilder() = default;
+
+  /// Returns the new variable's index.
+  std::size_t add_variable(double lower, double upper, double cost,
+                           std::string name = {});
+
+  /// Returns the new row's index.
+  std::size_t add_constraint(double lower, double upper,
+                             std::vector<LinTerm> terms,
+                             std::string name = {});
+
+  /// a x >= rhs and a x <= rhs conveniences.
+  std::size_t add_ge(const std::vector<LinTerm>& terms, double rhs,
+                     std::string name = {});
+  std::size_t add_le(const std::vector<LinTerm>& terms, double rhs,
+                     std::string name = {});
+  std::size_t add_eq(const std::vector<LinTerm>& terms, double rhs,
+                     std::string name = {});
+
+  void add_objective_offset(double delta) { offset_ += delta; }
+  /// Adds delta to variable var's objective coefficient.
+  void add_cost(std::size_t var, double delta);
+
+  std::size_t num_vars() const { return var_lower_.size(); }
+  std::size_t num_rows() const { return row_lower_.size(); }
+
+  const std::string& var_name(std::size_t v) const { return var_names_[v]; }
+  const std::string& row_name(std::size_t r) const { return row_names_[r]; }
+
+  LpModel build() const;
+
+ private:
+  Vec cost_;
+  double offset_ = 0.0;
+  Vec var_lower_, var_upper_;
+  Vec row_lower_, row_upper_;
+  std::vector<linalg::Triplet> triplets_;
+  std::vector<std::string> var_names_;
+  std::vector<std::string> row_names_;
+};
+
+}  // namespace sora::solver

@@ -1,0 +1,47 @@
+#include "solver/lp_solve.hpp"
+
+#include <cmath>
+
+#include "solver/presolve.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace sora::solver {
+namespace {
+
+LpSolution dispatch(const LpModel& model, const LpSolveOptions& options) {
+  LpMethod method = options.method;
+  if (method == LpMethod::kAuto) {
+    const std::size_t size = model.num_rows() + model.num_vars();
+    method = size <= options.simplex_size_limit ? LpMethod::kSimplex
+                                                : LpMethod::kPdhg;
+  }
+  switch (method) {
+    case LpMethod::kSimplex:
+      return solve_simplex(model, options.simplex);
+    case LpMethod::kPdhg:
+      return solve_pdhg(model, options.pdhg);
+    case LpMethod::kAuto:
+      break;
+  }
+  SORA_CHECK_MSG(false, "unreachable LP method");
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LpModel& model, const LpSolveOptions& options) {
+  if (!options.presolve) return dispatch(model, options);
+  return solve_with_presolve(
+      model, [&options](const LpModel& m) { return dispatch(m, options); });
+}
+
+double cross_check_gap(const LpModel& model, const LpSolveOptions& options) {
+  const LpSolution a = solve_simplex(model, options.simplex);
+  const LpSolution b = solve_pdhg(model, options.pdhg);
+  SORA_CHECK_MSG(a.ok(), "simplex failed: " + a.detail);
+  SORA_CHECK_MSG(b.ok(), "pdhg failed: " + b.detail);
+  const double scale = 1.0 + std::fabs(a.objective) + std::fabs(b.objective);
+  return std::fabs(a.objective - b.objective) / scale;
+}
+
+}  // namespace sora::solver

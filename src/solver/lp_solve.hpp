@@ -1,0 +1,30 @@
+// Front door for LP solving: picks the simplex for small models and PDHG for
+// large ones, with an explicit override. Also provides the cross-validation
+// helper used by tests to keep the two solvers honest against each other.
+#pragma once
+
+#include "solver/pdhg.hpp"
+#include "solver/simplex.hpp"
+
+namespace sora::solver {
+
+enum class LpMethod { kAuto, kSimplex, kPdhg };
+
+struct LpSolveOptions {
+  LpMethod method = LpMethod::kAuto;
+  /// kAuto uses the simplex when rows+vars is at most this.
+  std::size_t simplex_size_limit = 3000;
+  /// Run the presolve reductions first (fixed variables, singleton rows).
+  /// Pays off most on window LPs with pinned terminal slots.
+  bool presolve = false;
+  SimplexOptions simplex;
+  PdhgOptions pdhg;
+};
+
+LpSolution solve_lp(const LpModel& model, const LpSolveOptions& options = {});
+
+/// Solve with both methods and return the worse relative objective gap
+/// between them (used by tests; throws if either solver fails).
+double cross_check_gap(const LpModel& model, const LpSolveOptions& options = {});
+
+}  // namespace sora::solver

@@ -1,0 +1,352 @@
+#include "solver/pdhg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace sora::solver {
+namespace {
+
+using linalg::SparseMatrix;
+using linalg::Vec;
+
+struct ScaledProblem {
+  SparseMatrix a;
+  Vec c;
+  Vec row_lower, row_upper;
+  Vec var_lower, var_upper;
+  Vec row_scale;  // D_r: scaled rows were multiplied by this
+  Vec col_scale;  // D_c: x = D_c * x_scaled
+};
+
+// Ruiz equilibration: iteratively scale rows and columns toward unit
+// max-norm. Returns the scaled problem plus the diagonal scalings needed to
+// map the solution back.
+ScaledProblem ruiz_scale(const LpModel& model, std::size_t iterations) {
+  ScaledProblem p;
+  p.a = model.a;
+  p.c = model.objective;
+  p.row_lower = model.row_lower;
+  p.row_upper = model.row_upper;
+  p.var_lower = model.var_lower;
+  p.var_upper = model.var_upper;
+  p.row_scale.assign(model.num_rows(), 1.0);
+  p.col_scale.assign(model.num_vars(), 1.0);
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const Vec row_max = p.a.row_abs_sums(0.0);
+    const Vec col_max = p.a.col_abs_sums(0.0);
+    Vec dr(model.num_rows()), dc(model.num_vars());
+    bool changed = false;
+    for (std::size_t r = 0; r < dr.size(); ++r) {
+      dr[r] = row_max[r] > 0.0 ? 1.0 / std::sqrt(row_max[r]) : 1.0;
+      if (std::fabs(dr[r] - 1.0) > 1e-3) changed = true;
+    }
+    for (std::size_t j = 0; j < dc.size(); ++j) {
+      dc[j] = col_max[j] > 0.0 ? 1.0 / std::sqrt(col_max[j]) : 1.0;
+      if (std::fabs(dc[j] - 1.0) > 1e-3) changed = true;
+    }
+    p.a.scale(dr, dc);
+    for (std::size_t r = 0; r < dr.size(); ++r) p.row_scale[r] *= dr[r];
+    for (std::size_t j = 0; j < dc.size(); ++j) p.col_scale[j] *= dc[j];
+    if (!changed) break;
+  }
+
+  // Transform the data: scaled rows l,u multiply by D_r; scaled variable
+  // bounds divide by D_c; scaled costs multiply by D_c.
+  for (std::size_t r = 0; r < p.row_lower.size(); ++r) {
+    if (std::isfinite(p.row_lower[r])) p.row_lower[r] *= p.row_scale[r];
+    if (std::isfinite(p.row_upper[r])) p.row_upper[r] *= p.row_scale[r];
+  }
+  for (std::size_t j = 0; j < p.var_lower.size(); ++j) {
+    p.c[j] *= p.col_scale[j];
+    if (std::isfinite(p.var_lower[j])) p.var_lower[j] /= p.col_scale[j];
+    if (std::isfinite(p.var_upper[j])) p.var_upper[j] /= p.col_scale[j];
+  }
+  return p;
+}
+
+double estimate_spectral_norm(const SparseMatrix& a, std::size_t iterations) {
+  if (a.rows() == 0 || a.cols() == 0 || a.nonzeros() == 0) return 1.0;
+  util::Rng rng(12345);
+  Vec v(a.cols());
+  for (double& x : v) x = rng.normal();
+  double norm = 1.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Vec w = a.multiply(v);
+    v = a.multiply_transpose(w);
+    norm = linalg::norm2(v);
+    if (norm == 0.0) return 1.0;
+    linalg::scale(v, 1.0 / norm);
+  }
+  return std::sqrt(std::max(norm, 1e-30));
+}
+
+double clamp_to(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+struct KktError {
+  double primal = 0.0;   // ||row violations||_2
+  double dual = 0.0;     // ||unexplainable reduced costs||_2
+  double gap = 0.0;      // |primal obj - dual obj|
+  double primal_obj = 0.0;
+  double dual_obj = 0.0;
+
+  double total() const { return primal + dual + gap; }
+};
+
+class Pdhg {
+ public:
+  Pdhg(const LpModel& model, const PdhgOptions& options)
+      : options_(options),
+        model_(model),
+        scaled_(ruiz_scale(model, options.ruiz_iterations)) {
+    n_ = scaled_.c.size();
+    m_ = scaled_.row_lower.size();
+    op_norm_ = estimate_spectral_norm(scaled_.a, 30);
+    // Termination is measured in the ORIGINAL space (scaled-space residuals
+    // can look tiny while the unscaled point is far from optimal).
+    c_norm_ = linalg::norm2(model.objective);
+    rhs_norm_ = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (std::isfinite(model.row_lower[r]))
+        rhs_norm_ += model.row_lower[r] * model.row_lower[r];
+      else if (std::isfinite(model.row_upper[r]))
+        rhs_norm_ += model.row_upper[r] * model.row_upper[r];
+    }
+    rhs_norm_ = std::sqrt(rhs_norm_);
+  }
+
+  LpSolution run() {
+    util::Timer timer;
+    Vec x(n_, 0.0), y(m_, 0.0);
+    project_box(x);
+
+    Vec x_avg = x, y_avg = y;
+    std::size_t avg_count = 0;
+    double omega = initial_primal_weight();
+    double last_restart_error = kInf;
+    KktError best_err;
+    Vec best_x = x, best_y = y;
+    double best_total = kInf;
+
+    std::size_t iter = 0;
+    for (; iter < options_.max_iterations; ++iter) {
+      step(x, y, omega);
+
+      // Running average (uniform) since the last restart.
+      ++avg_count;
+      const double a_weight = 1.0 / static_cast<double>(avg_count);
+      for (std::size_t j = 0; j < n_; ++j)
+        x_avg[j] += (x[j] - x_avg[j]) * a_weight;
+      for (std::size_t r = 0; r < m_; ++r)
+        y_avg[r] += (y[r] - y_avg[r]) * a_weight;
+
+      if ((iter + 1) % options_.restart_check_interval != 0) continue;
+
+      const KktError err_cur = kkt_error(x, y);
+      const KktError err_avg = kkt_error(x_avg, y_avg);
+      const bool avg_better = err_avg.total() < err_cur.total();
+      const KktError& err = avg_better ? err_avg : err_cur;
+      if (err.total() < best_total) {
+        best_total = err.total();
+        best_err = err;
+        best_x = avg_better ? x_avg : x;
+        best_y = avg_better ? y_avg : y;
+      }
+
+      if (options_.log_progress) {
+        SORA_LOG_DEBUG << "pdhg iter " << (iter + 1) << " kkt "
+                       << err.total() << " (p " << err.primal << " d "
+                       << err.dual << " gap " << err.gap << ")";
+      }
+
+      if (converged(err)) {
+        x = avg_better ? x_avg : x;
+        y = avg_better ? y_avg : y;
+        ++iter;
+        break;
+      }
+
+      // Adaptive restart: when the KKT error has dropped enough since the
+      // last restart, re-center on the better iterate and rebalance the
+      // primal weight from the residual ratio.
+      if (err.total() < 0.42 * last_restart_error || avg_count >= 4000) {
+        if (avg_better) {
+          x = x_avg;
+          y = y_avg;
+        }
+        x_avg = x;
+        y_avg = y;
+        avg_count = 0;
+        last_restart_error = err.total();
+        if (err.primal > 1e-30 && err.dual > 1e-30) {
+          const double target = std::sqrt(err.dual / err.primal);
+          omega = clamp_to(std::exp(0.5 * std::log(omega) +
+                                    0.5 * std::log(target)),
+                           1e-4, 1e4);
+        }
+      }
+    }
+
+    // Prefer the best recorded iterate if the loop exhausted iterations.
+    KktError final_err = kkt_error(x, y);
+    if (final_err.total() > best_total) {
+      x = best_x;
+      y = best_y;
+      final_err = best_err;
+    }
+
+    LpSolution out;
+    out.iterations = iter;
+    out.solve_seconds = timer.seconds();
+    const bool accepted =
+        converged(final_err) ||
+        (final_err.primal <= options_.accept_factor * options_.eps_rel &&
+         final_err.dual <= options_.accept_factor * options_.eps_rel &&
+         final_err.gap <= options_.accept_factor * options_.eps_rel);
+    out.status =
+        accepted ? SolveStatus::kOptimal : SolveStatus::kIterationLimit;
+    out.detail = "kkt primal " + std::to_string(final_err.primal) + " dual " +
+                 std::to_string(final_err.dual) + " gap " +
+                 std::to_string(final_err.gap);
+    // Unscale.
+    out.x.assign(n_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) out.x[j] = x[j] * scaled_.col_scale[j];
+    out.row_dual.assign(m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r)
+      out.row_dual[r] = y[r] * scaled_.row_scale[r];
+    return out;
+  }
+
+ private:
+  double initial_primal_weight() const {
+    // PDLP heuristic: balance ||c|| against ||rhs||.
+    if (c_norm_ > 1e-12 && rhs_norm_ > 1e-12) return c_norm_ / rhs_norm_;
+    return 1.0;
+  }
+
+  void project_box(Vec& x) const {
+    for (std::size_t j = 0; j < n_; ++j)
+      x[j] = clamp_to(x[j], scaled_.var_lower[j], scaled_.var_upper[j]);
+  }
+
+  // One PDHG step: x <- proj(x - tau (c + A^T y)); y <- prox(y + sigma A xbar).
+  void step(Vec& x, Vec& y, double omega) const {
+    const double tau = omega / op_norm_;
+    const double sigma = 1.0 / (omega * op_norm_);
+
+    const Vec aty = scaled_.a.multiply_transpose(y);
+    Vec x_new(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      x_new[j] = clamp_to(x[j] - tau * (scaled_.c[j] + aty[j]),
+                          scaled_.var_lower[j], scaled_.var_upper[j]);
+    }
+    Vec xbar(n_);
+    for (std::size_t j = 0; j < n_; ++j) xbar[j] = 2.0 * x_new[j] - x[j];
+
+    const Vec ax = scaled_.a.multiply(xbar);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const double v = y[r] + sigma * ax[r];
+      // prox of the support function of [l, u]: v - sigma * proj_[l,u](v/sigma)
+      const double z = clamp_to(v / sigma, scaled_.row_lower[r],
+                                scaled_.row_upper[r]);
+      y[r] = v - sigma * z;
+    }
+    x = std::move(x_new);
+  }
+
+  // KKT residuals of the UNSCALED point corresponding to scaled (x, y).
+  KktError kkt_error(const Vec& x_scaled, const Vec& y_scaled) const {
+    Vec x(n_), y(m_);
+    for (std::size_t j = 0; j < n_; ++j)
+      x[j] = x_scaled[j] * scaled_.col_scale[j];
+    for (std::size_t r = 0; r < m_; ++r)
+      y[r] = y_scaled[r] * scaled_.row_scale[r];
+
+    KktError e;
+    // Primal: distance of Ax to [l, u].
+    const Vec ax = model_.a.multiply(x);
+    double p2 = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      double v = 0.0;
+      if (std::isfinite(model_.row_lower[r]) && ax[r] < model_.row_lower[r])
+        v = model_.row_lower[r] - ax[r];
+      else if (std::isfinite(model_.row_upper[r]) &&
+               ax[r] > model_.row_upper[r])
+        v = ax[r] - model_.row_upper[r];
+      p2 += v * v;
+    }
+    e.primal = std::sqrt(p2) / (1.0 + rhs_norm_);
+
+    // Dual residual and dual objective. d = c + A^T y is the gradient in x;
+    // a positive component is explainable iff the variable has a finite
+    // lower bound (x sits there), a negative one iff a finite upper bound.
+    const Vec aty = model_.a.multiply_transpose(y);
+    double d2 = 0.0;
+    double bound_term = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double d = model_.objective[j] + aty[j];
+      if (d > 0.0) {
+        if (std::isfinite(model_.var_lower[j]))
+          bound_term += d * model_.var_lower[j];
+        else
+          d2 += d * d;
+      } else if (d < 0.0) {
+        if (std::isfinite(model_.var_upper[j]))
+          bound_term += d * model_.var_upper[j];
+        else
+          d2 += d * d;
+      }
+    }
+    e.dual = std::sqrt(d2) / (1.0 + c_norm_);
+
+    // Support-function value sigma_Z(y) (the prox keeps it finite up to
+    // roundoff; clamp tiny wrong-signed components).
+    double support = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (y[r] > 0.0 && std::isfinite(model_.row_upper[r]))
+        support += y[r] * model_.row_upper[r];
+      else if (y[r] < 0.0 && std::isfinite(model_.row_lower[r]))
+        support += y[r] * model_.row_lower[r];
+    }
+
+    e.primal_obj = linalg::dot(model_.objective, x);
+    e.dual_obj = bound_term - support;
+    e.gap = std::fabs(e.primal_obj - e.dual_obj) /
+            (1.0 + std::fabs(e.primal_obj) + std::fabs(e.dual_obj));
+    return e;
+  }
+
+  bool converged(const KktError& e) const {
+    const double tol = options_.eps_rel;
+    return e.primal <= tol + options_.eps_abs &&
+           e.dual <= tol + options_.eps_abs && e.gap <= tol + options_.eps_abs;
+  }
+
+  PdhgOptions options_;
+  const LpModel& model_;
+  ScaledProblem scaled_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  double op_norm_ = 1.0;
+  double c_norm_ = 0.0;
+  double rhs_norm_ = 0.0;
+};
+
+}  // namespace
+
+LpSolution solve_pdhg(const LpModel& model, const PdhgOptions& options) {
+  model.validate();
+  Pdhg solver(model, options);
+  LpSolution out = solver.run();
+  out.objective = model.objective_value(out.x);
+  return out;
+}
+
+}  // namespace sora::solver

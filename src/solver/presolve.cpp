@@ -1,0 +1,193 @@
+#include "solver/presolve.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sora::solver {
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+}  // namespace
+
+Presolve::Presolve(const LpModel& model) {
+  model.validate();
+  original_vars_ = model.num_vars();
+  original_rows_ = model.num_rows();
+
+  // Working copies we shrink logically with flags.
+  Vec var_lower = model.var_lower;
+  Vec var_upper = model.var_upper;
+  Vec row_lower = model.row_lower;
+  Vec row_upper = model.row_upper;
+  std::vector<bool> row_dropped(original_rows_, false);
+  var_fixed_.assign(original_vars_, false);
+  fixed_value_.assign(original_vars_, 0.0);
+
+  // Row-wise view of A.
+  const auto& offsets = model.a.row_offsets();
+  const auto& cols = model.a.col_indices();
+  const auto& vals = model.a.values();
+
+  auto mark_fixed = [&](std::size_t j) {
+    if (var_fixed_[j]) return;
+    var_fixed_[j] = true;
+    fixed_value_[j] = var_lower[j];
+  };
+
+  // Iterate the reductions to a fixed point (bounded by a few passes; each
+  // pass can only shrink the problem).
+  bool changed = true;
+  std::size_t guard = 0;
+  while (changed && !infeasible_ && guard++ < 16) {
+    changed = false;
+
+    // (1) Fix variables whose bounds have met.
+    for (std::size_t j = 0; j < original_vars_; ++j) {
+      if (var_fixed_[j]) continue;
+      if (var_upper[j] - var_lower[j] <= kFeasTol) {
+        if (var_upper[j] < var_lower[j] - kFeasTol) {
+          infeasible_ = true;
+          reason_ = "variable bound crossover after tightening";
+          break;
+        }
+        mark_fixed(j);
+        changed = true;
+      }
+    }
+    if (infeasible_) break;
+
+    // (2) Per row: count live coefficients; handle empty and singleton rows.
+    for (std::size_t r = 0; r < original_rows_ && !infeasible_; ++r) {
+      if (row_dropped[r]) continue;
+      std::size_t live = 0;
+      std::size_t live_col = 0;
+      double live_coeff = 0.0;
+      double fixed_activity = 0.0;
+      for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        const std::size_t j = cols[k];
+        if (var_fixed_[j]) {
+          fixed_activity += vals[k] * fixed_value_[j];
+        } else {
+          ++live;
+          live_col = j;
+          live_coeff = vals[k];
+        }
+      }
+      const double lo = row_lower[r];
+      const double hi = row_upper[r];
+      if (live == 0) {
+        // Empty row: constant activity must sit within the bounds.
+        if (fixed_activity < lo - 1e-6 || fixed_activity > hi + 1e-6) {
+          infeasible_ = true;
+          reason_ = "empty row " + std::to_string(r) + " infeasible";
+          break;
+        }
+        row_dropped[r] = true;
+        changed = true;
+      } else if (live == 1 && std::fabs(live_coeff) > 1e-12) {
+        // Singleton row: translate into variable bounds.
+        double nlo = -kInf, nhi = kInf;
+        if (std::isfinite(lo)) {
+          const double v = (lo - fixed_activity) / live_coeff;
+          (live_coeff > 0.0 ? nlo : nhi) = v;
+        }
+        if (std::isfinite(hi)) {
+          const double v = (hi - fixed_activity) / live_coeff;
+          (live_coeff > 0.0 ? nhi : nlo) = v;
+        }
+        bool tightened = false;
+        if (nlo > var_lower[live_col] + kFeasTol) {
+          var_lower[live_col] = nlo;
+          tightened = true;
+        }
+        if (nhi < var_upper[live_col] - kFeasTol) {
+          var_upper[live_col] = nhi;
+          tightened = true;
+        }
+        if (var_lower[live_col] > var_upper[live_col] + kFeasTol) {
+          infeasible_ = true;
+          reason_ = "singleton row " + std::to_string(r) +
+                    " forces crossed bounds";
+          break;
+        }
+        row_dropped[r] = true;
+        changed = changed || tightened || true;
+      }
+    }
+  }
+  if (infeasible_) return;
+
+  // ---- Assemble the reduced model.
+  std::vector<std::size_t> var_map(original_vars_, SIZE_MAX);
+  for (std::size_t j = 0; j < original_vars_; ++j) {
+    if (var_fixed_[j]) continue;
+    var_map[j] = kept_vars_.size();
+    kept_vars_.push_back(j);
+  }
+  for (std::size_t r = 0; r < original_rows_; ++r)
+    if (!row_dropped[r]) kept_rows_.push_back(r);
+
+  reduced_.objective.assign(kept_vars_.size(), 0.0);
+  reduced_.var_lower.assign(kept_vars_.size(), 0.0);
+  reduced_.var_upper.assign(kept_vars_.size(), 0.0);
+  reduced_.objective_offset = model.objective_offset;
+  for (std::size_t jr = 0; jr < kept_vars_.size(); ++jr) {
+    const std::size_t j = kept_vars_[jr];
+    reduced_.objective[jr] = model.objective[j];
+    reduced_.var_lower[jr] = var_lower[j];
+    reduced_.var_upper[jr] = var_upper[j];
+  }
+  for (std::size_t j = 0; j < original_vars_; ++j)
+    if (var_fixed_[j])
+      reduced_.objective_offset += model.objective[j] * fixed_value_[j];
+
+  reduced_.row_lower.assign(kept_rows_.size(), 0.0);
+  reduced_.row_upper.assign(kept_rows_.size(), 0.0);
+  std::vector<linalg::Triplet> triplets;
+  for (std::size_t rr = 0; rr < kept_rows_.size(); ++rr) {
+    const std::size_t r = kept_rows_[rr];
+    double fixed_activity = 0.0;
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      const std::size_t j = cols[k];
+      if (var_fixed_[j])
+        fixed_activity += vals[k] * fixed_value_[j];
+      else
+        triplets.push_back({rr, var_map[j], vals[k]});
+    }
+    reduced_.row_lower[rr] = std::isfinite(row_lower[r])
+                                 ? row_lower[r] - fixed_activity
+                                 : -kInf;
+    reduced_.row_upper[rr] = std::isfinite(row_upper[r])
+                                 ? row_upper[r] - fixed_activity
+                                 : kInf;
+  }
+  reduced_.a = linalg::SparseMatrix::from_triplets(
+      kept_rows_.size(), kept_vars_.size(), std::move(triplets));
+  reduced_.validate();
+}
+
+std::size_t Presolve::removed_vars() const {
+  return original_vars_ - kept_vars_.size();
+}
+
+std::size_t Presolve::removed_rows() const {
+  return original_rows_ - kept_rows_.size();
+}
+
+LpSolution Presolve::postsolve(const LpSolution& reduced_solution) const {
+  LpSolution out = reduced_solution;
+  out.x.assign(original_vars_, 0.0);
+  for (std::size_t j = 0; j < original_vars_; ++j)
+    if (var_fixed_[j]) out.x[j] = fixed_value_[j];
+  for (std::size_t jr = 0; jr < kept_vars_.size(); ++jr)
+    out.x[kept_vars_[jr]] = reduced_solution.x[jr];
+  out.row_dual.assign(original_rows_, 0.0);
+  for (std::size_t rr = 0;
+       rr < kept_rows_.size() && rr < reduced_solution.row_dual.size(); ++rr)
+    out.row_dual[kept_rows_[rr]] = reduced_solution.row_dual[rr];
+  return out;
+}
+
+}  // namespace sora::solver

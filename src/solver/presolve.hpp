@@ -1,0 +1,64 @@
+// LP presolve: cheap reductions applied before the simplex/PDHG solvers.
+//
+//   * singleton rows (one coefficient) become variable-bound tightenings,
+//   * variables with equal bounds are substituted into the rows,
+//   * empty rows are checked for consistency and dropped,
+// iterated until a fixed point (a tightened bound can fix a variable, which
+// can empty further rows). The window re-optimizations with pinned terminal
+// decisions benefit most: an entire slot's variables disappear.
+//
+// Postsolve restores the original variable vector. Row duals are restored
+// positionally, with dropped rows reported as zero (sufficient for the
+// diagnostic uses in this library).
+#pragma once
+
+#include <vector>
+
+#include "solver/lp.hpp"
+#include "solver/solution.hpp"
+
+namespace sora::solver {
+
+class Presolve {
+ public:
+  /// Analyze and reduce. Check `detected_infeasible()` before solving.
+  explicit Presolve(const LpModel& model);
+
+  bool detected_infeasible() const { return infeasible_; }
+  const std::string& infeasibility_reason() const { return reason_; }
+
+  const LpModel& reduced() const { return reduced_; }
+  std::size_t removed_vars() const;
+  std::size_t removed_rows() const;
+
+  /// Map a solution of the reduced model back to the original space.
+  LpSolution postsolve(const LpSolution& reduced_solution) const;
+
+ private:
+  LpModel reduced_;
+  bool infeasible_ = false;
+  std::string reason_;
+
+  std::size_t original_vars_ = 0;
+  std::size_t original_rows_ = 0;
+  std::vector<bool> var_fixed_;          // original index -> fixed?
+  linalg::Vec fixed_value_;              // valid where var_fixed_
+  std::vector<std::size_t> kept_vars_;   // reduced -> original index
+  std::vector<std::size_t> kept_rows_;   // reduced -> original index
+};
+
+/// Convenience: presolve + solve + postsolve with the given inner solver.
+template <typename Solver>
+LpSolution solve_with_presolve(const LpModel& model, Solver&& inner) {
+  Presolve pre(model);
+  if (pre.detected_infeasible()) {
+    LpSolution out;
+    out.status = SolveStatus::kPrimalInfeasible;
+    out.detail = "presolve: " + pre.infeasibility_reason();
+    return out;
+  }
+  const LpSolution reduced = inner(pre.reduced());
+  return pre.postsolve(reduced);
+}
+
+}  // namespace sora::solver

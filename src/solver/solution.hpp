@@ -1,0 +1,41 @@
+// Shared solver result types.
+#pragma once
+
+#include <string>
+
+#include "linalg/vector_ops.hpp"
+
+namespace sora::solver {
+
+enum class SolveStatus {
+  kOptimal,
+  kPrimalInfeasible,
+  kDualInfeasible,  // i.e., unbounded primal
+  kIterationLimit,
+  kNumericalError,
+};
+
+inline const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kPrimalInfeasible: return "primal_infeasible";
+    case SolveStatus::kDualInfeasible: return "dual_infeasible";
+    case SolveStatus::kIterationLimit: return "iteration_limit";
+    case SolveStatus::kNumericalError: return "numerical_error";
+  }
+  return "?";
+}
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kNumericalError;
+  linalg::Vec x;        // primal point (best found)
+  linalg::Vec row_dual; // one multiplier per row (sign: >=0 pushes Ax up)
+  double objective = 0.0;
+  std::size_t iterations = 0;
+  double solve_seconds = 0.0;
+  std::string detail;   // human-readable termination note
+
+  bool ok() const { return status == SolveStatus::kOptimal; }
+};
+
+}  // namespace sora::solver

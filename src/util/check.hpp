@@ -1,0 +1,43 @@
+// Lightweight runtime checks. SORA_CHECK is always on (cheap, guards API
+// misuse); SORA_DCHECK compiles out in release builds (hot inner loops).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sora::util {
+
+/// Thrown by SORA_CHECK failures; carries file/line context in what().
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace sora::util
+
+#define SORA_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::sora::util::check_failed(#cond, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define SORA_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::sora::util::check_failed(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#ifdef NDEBUG
+#define SORA_DCHECK(cond) ((void)0)
+#else
+#define SORA_DCHECK(cond) SORA_CHECK(cond)
+#endif

@@ -1,0 +1,119 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sora::util {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+void write_field(std::ostream& os, const std::string& field) {
+  if (!needs_quoting(field)) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (char c : field) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os << ',';
+    write_field(os, cells[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  SORA_CHECK_MSG(cells.size() == header_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    cells.emplace_back(buf);
+  }
+  add_row(std::move(cells));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  write_row(os, header_);
+  for (const auto& row : rows_) write_row(os, row);
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  SORA_CHECK_MSG(os.good(), "cannot open " + path);
+  write(os);
+  SORA_CHECK_MSG(os.good(), "write failed for " + path);
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::optional<CsvTable> read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return std::nullopt;
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto fields = parse_csv_line(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+}  // namespace sora::util

@@ -1,0 +1,47 @@
+// Small CSV writer/reader used by the benchmark harness to persist series
+// (one row per sweep point) and by the workload loader.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sora::util {
+
+/// Accumulates rows and streams RFC-4180-ish CSV (quotes fields containing
+/// separators). Numeric cells are formatted with full double precision.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.10g.
+  void add_numeric_row(const std::vector<double>& values);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  void write(std::ostream& os) const;
+  /// Writes to the given path; throws CheckError on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parse one CSV line into fields (handles quoted fields with embedded
+/// separators and doubled quotes).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Full-file reader: returns header + rows. Returns nullopt if the file
+/// cannot be opened.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+std::optional<CsvTable> read_csv_file(const std::string& path);
+
+}  // namespace sora::util

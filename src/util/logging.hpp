@@ -1,0 +1,46 @@
+// Minimal leveled logger writing to stderr. Thread-safe; level settable at
+// runtime (SORA_LOG env var: trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sora::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "info", "debug", ... (case-insensitive); unknown -> kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+/// Emit one line: "[level] message". Thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sora::util
+
+#define SORA_LOG(level)                                                  \
+  if (::sora::util::log_level() <= ::sora::util::LogLevel::level)        \
+  ::sora::util::detail::LogMessage(::sora::util::LogLevel::level).stream()
+
+#define SORA_LOG_INFO SORA_LOG(kInfo)
+#define SORA_LOG_DEBUG SORA_LOG(kDebug)
+#define SORA_LOG_WARN SORA_LOG(kWarn)
+#define SORA_LOG_ERROR SORA_LOG(kError)

@@ -1,0 +1,98 @@
+#include "util/options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace sora::util {
+namespace {
+
+bool is_known(const std::vector<std::string>& known, const std::string& name) {
+  return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+bool parse_bool_text(const std::string& text, bool fallback) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off")
+    return false;
+  return fallback;
+}
+
+}  // namespace
+
+Options Options::parse(int argc, const char* const* argv,
+                       const std::vector<std::string>& known) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // --name value  (if the next token is not a flag), else boolean true.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    SORA_CHECK_MSG(is_known(known, name), "unknown flag --" + name);
+    opts.values_[name] = value;
+  }
+  return opts;
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Options::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+long Options::get_int(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return parse_bool_text(it->second, fallback);
+}
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+bool env_flag(const std::string& name) {
+  const auto v = env_string(name);
+  return v.has_value() && parse_bool_text(*v, false);
+}
+
+}  // namespace sora::util

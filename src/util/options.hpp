@@ -1,0 +1,43 @@
+// Tiny CLI/environment option parser used by the bench and example binaries.
+// Flags take the form --name=value or --name value; booleans accept bare
+// --name. Unknown flags are an error (fail fast on typos). Environment
+// fallbacks let `REPRO_FULL=1 ./bench_fig5_cost` select the paper-scale run.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sora::util {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parse argv; throws CheckError on malformed input. `known` lists the
+  /// accepted flag names (without leading dashes).
+  static Options parse(int argc, const char* const* argv,
+                       const std::vector<std::string>& known);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional arguments (non-flag argv entries).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Environment helpers (nullopt if unset or empty).
+std::optional<std::string> env_string(const std::string& name);
+bool env_flag(const std::string& name);  // truthy: "1", "true", "yes", "on"
+
+}  // namespace sora::util

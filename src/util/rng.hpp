@@ -1,0 +1,53 @@
+// Deterministic, seedable random number generation. All stochastic inputs in
+// the library (price synthesis, workload noise, prediction noise) draw from
+// Rng so that every experiment is reproducible from its printed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sora::util {
+
+/// xoshiro256** — fast, high-quality, tiny state. Seeded via splitmix64 so
+/// any 64-bit seed (including 0) expands to a good state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sd >= 0).
+  double normal(double mean, double sd);
+
+  /// Pareto(shape alpha > 0, scale xm > 0); heavy-tailed spike magnitudes.
+  double pareto(double alpha, double xm);
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Derive an independent stream (e.g., one per sweep point) from this one.
+  Rng split();
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sora::util

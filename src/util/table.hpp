@@ -1,0 +1,31 @@
+// ASCII table printer: the benchmark binaries print paper-style tables and
+// figure series as aligned plain-text tables on stdout.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sora::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Formats each value with the given printf format (default "%.4g").
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values,
+                       const char* fmt = "%.4g");
+
+  void print(std::ostream& os) const;
+
+  /// Format one double with the given printf format.
+  static std::string fmt(double v, const char* f = "%.4g");
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sora::util

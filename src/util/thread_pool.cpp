@@ -1,0 +1,131 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace sora::util {
+namespace {
+// Set while executing a pool task; nested parallel_for runs inline instead
+// of blocking a worker on the same pool (which could deadlock).
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  SORA_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SORA_CHECK_MSG(!stopping_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    t_inside_worker = true;
+    task();
+    t_inside_worker = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SORA_THREADS")) {
+      const long n = std::atol(env);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(grain, 1);
+  ThreadPool& pool = ThreadPool::shared();
+
+  // Serial fast path: tiny ranges, single-thread pools, or nested
+  // parallelism (see t_inside_worker) run inline.
+  if (end - begin <= grain || pool.thread_count() == 1 || t_inside_worker) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  struct Shared {
+    std::mutex mu;
+    std::exception_ptr first_error;
+    std::condition_variable done_cv;
+    std::size_t pending = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  std::size_t chunks = 0;
+  for (std::size_t lo = begin; lo < end; lo += grain) ++chunks;
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->pending = chunks;
+  }
+
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(end, lo + grain);
+    pool.submit([shared, lo, hi, &body] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        if (!shared->first_error) shared->first_error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(shared->mu);
+      if (--shared->pending == 0) shared->done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->done_cv.wait(lock, [&] { return shared->pending == 0; });
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
+}
+
+}  // namespace sora::util

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "baselines/lcp_m.hpp"
+#include "baselines/offline.hpp"
+#include "baselines/oneshot.hpp"
+#include "core/cost.hpp"
+#include "core/roa.hpp"
+#include "util/rng.hpp"
+
+namespace sora::baselines {
+namespace {
+
+using core::Instance;
+
+Instance make_instance(std::size_t horizon, double reconfig_weight,
+                       std::uint64_t seed) {
+  sora::util::Rng rng(seed);
+  const auto trace = cloudnet::wikipedia_like(horizon, rng);
+  cloudnet::InstanceConfig cfg;
+  cfg.num_tier2 = 3;
+  cfg.num_tier1 = 5;
+  cfg.sla_k = 2;
+  cfg.reconfig_weight = reconfig_weight;
+  cfg.seed = seed;
+  return cloudnet::build_instance(cfg, trace);
+}
+
+TEST(Baselines, OneShotFeasibleAndTracksDemand) {
+  const Instance inst = make_instance(8, 20.0, 1);
+  const BaselineRun run = run_one_shot_sequence(inst);
+  EXPECT_TRUE(core::is_feasible(inst, run.trajectory, 1e-6));
+  // Greedy coverage hugs the demand at every slot.
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    double covered = 0.0;
+    for (std::size_t j = 0; j < inst.num_tier1(); ++j)
+      for (const std::size_t e : inst.edges_of_tier1[j])
+        covered += std::min(run.trajectory.slots[t].x[e],
+                            run.trajectory.slots[t].y[e]);
+    EXPECT_NEAR(covered, inst.total_demand(t), 1e-5);
+  }
+}
+
+TEST(Baselines, OfflineIsLowerBoundForAll) {
+  const Instance inst = make_instance(10, 100.0, 2);
+  const double offline = run_offline_optimum(inst).cost.total();
+  EXPECT_GE(run_one_shot_sequence(inst).cost.total(), offline - 1e-6);
+  EXPECT_GE(run_lcp_m(inst).cost.total(), offline - 1e-6);
+  EXPECT_GE(core::run_roa(inst).cost.total(), offline - 1e-6);
+}
+
+TEST(Baselines, LcpMFeasible) {
+  const Instance inst = make_instance(8, 50.0, 3);
+  const BaselineRun run = run_lcp_m(inst);
+  EXPECT_TRUE(core::is_feasible(inst, run.trajectory, 1e-5));
+}
+
+TEST(Baselines, LcpMBeatsGreedyWithExpensiveReconfig) {
+  // The lazy band avoids the greedy policy's constant re-buying when the
+  // reconfiguration price dominates.
+  const Instance inst = make_instance(16, 500.0, 4);
+  const double lcp = run_lcp_m(inst).cost.total();
+  const double greedy = run_one_shot_sequence(inst).cost.total();
+  EXPECT_LT(lcp, greedy);
+}
+
+TEST(Baselines, GreedyNearOptimalWithCheapReconfig) {
+  const Instance inst = make_instance(10, 0.01, 5);
+  const double greedy = run_one_shot_sequence(inst).cost.total();
+  const double offline = run_offline_optimum(inst).cost.total();
+  EXPECT_LT(greedy, 1.05 * offline);
+}
+
+}  // namespace
+}  // namespace sora::baselines

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "baselines/offline.hpp"
+#include "core/cost.hpp"
+#include "core/p1_model.hpp"
+#include "core/single_resource.hpp"
+#include "eval/scenarios.hpp"
+
+namespace sora::eval {
+namespace {
+
+TEST(Scenarios, ReducedScaleDefaults) {
+  // The test environment does not set REPRO_FULL.
+  unsetenv("REPRO_FULL");
+  const EvalScale scale = EvalScale::from_env();
+  EXPECT_FALSE(scale.full);
+  EXPECT_EQ(scale.num_tier2, 6u);
+  EXPECT_EQ(scale.num_tier1, 12u);
+}
+
+TEST(Scenarios, FullScaleViaEnv) {
+  setenv("REPRO_FULL", "1", 1);
+  const EvalScale scale = EvalScale::from_env();
+  EXPECT_TRUE(scale.full);
+  EXPECT_EQ(scale.num_tier2, 18u);
+  EXPECT_EQ(scale.num_tier1, 48u);
+  EXPECT_EQ(scale.horizon_wikipedia, 500u);
+  EXPECT_EQ(scale.horizon_worldcup, 600u);
+  unsetenv("REPRO_FULL");
+}
+
+TEST(Scenarios, InstanceBuildsAndValidates) {
+  EvalScale scale;  // reduced
+  scale.horizon_wikipedia = 24;
+  Scenario sc;
+  sc.sla_k = 2;
+  const auto inst = build_eval_instance(sc, scale);
+  EXPECT_EQ(inst.num_tier2(), 6u);
+  EXPECT_EQ(inst.num_tier1(), 12u);
+  EXPECT_EQ(inst.horizon, 24u);
+  const auto report = cloudnet::validate_instance(inst);
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(Scenarios, WorldCupUsesItsOwnHorizon) {
+  EvalScale scale;
+  scale.horizon_worldcup = 30;
+  Scenario sc;
+  sc.workload = Workload::kWorldCup;
+  const auto inst = build_eval_instance(sc, scale);
+  EXPECT_EQ(inst.horizon, 30u);
+}
+
+TEST(Scenarios, SameSeedSameInstance) {
+  EvalScale scale;
+  scale.horizon_wikipedia = 12;
+  Scenario sc;
+  const auto a = build_eval_instance(sc, scale);
+  const auto b = build_eval_instance(sc, scale);
+  for (std::size_t t = 0; t < a.horizon; ++t)
+    EXPECT_DOUBLE_EQ(a.demand[t][0], b.demand[t][0]);
+}
+
+// Cross-check: on a 1x1 topology the multi-slot offline P1 LP must agree
+// with the exact single-resource offline optimum computed independently.
+TEST(CrossCheck, OfflineLpMatchesSingleResourceOracle) {
+  util::Rng rng(31);
+  const auto trace = cloudnet::wikipedia_like(16, rng);
+  cloudnet::InstanceConfig cfg;
+  cfg.num_tier2 = 1;
+  cfg.num_tier1 = 1;
+  cfg.sla_k = 1;
+  cfg.reconfig_weight = 50.0;
+  cfg.seed = 31;
+  const auto inst = cloudnet::build_instance(cfg, trace);
+
+  const auto offline = baselines::run_offline_optimum(inst);
+
+  // Decompose: the 1x1 offline problem separates into independent x and y
+  // single-resource problems (coverage couples them only through s <= both).
+  core::SingleResourceInstance xsub, ysub;
+  xsub.capacity = inst.tier2_capacity[0];
+  xsub.reconfig = inst.tier2_reconfig[0];
+  ysub.capacity = inst.edge_capacity[0];
+  ysub.reconfig = inst.edge_reconfig[0];
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    xsub.demand.push_back(inst.demand[t][0]);
+    xsub.price.push_back(inst.tier2_price[t][0]);
+    ysub.demand.push_back(inst.demand[t][0]);
+    ysub.price.push_back(inst.edge_price[0]);
+  }
+  const double oracle =
+      core::single_total_cost(xsub, core::single_offline(xsub)) +
+      core::single_total_cost(ysub, core::single_offline(ysub));
+  EXPECT_NEAR(offline.cost.total(), oracle,
+              1e-4 * (1.0 + std::fabs(oracle)));
+}
+
+}  // namespace
+}  // namespace sora::eval

@@ -1,0 +1,142 @@
+// End-to-end integration: one instance through the whole pipeline, checking
+// the invariant chain the paper establishes:
+//
+//   OPT <= {RFHC, RRHC} <= ROA <= r * OPT      (Theorems 1 & 4)
+//   OPT <= greedy, LCP-M                        (optimality of OPT)
+//   certificate: D <= OPT, cost(ROA) <= r * D   (Steps 2-4)
+//   replay: every policy serves all demand      (feasibility, Lemma 1)
+#include <gtest/gtest.h>
+
+#include "baselines/lcp_m.hpp"
+#include "baselines/offline.hpp"
+#include "baselines/oneshot.hpp"
+#include "core/certificate.hpp"
+#include "core/competitive.hpp"
+#include "core/cost.hpp"
+#include "core/predictive.hpp"
+#include "core/roa.hpp"
+#include "eval/replay.hpp"
+#include "util/rng.hpp"
+
+namespace sora {
+namespace {
+
+class IntegrationPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng(2016);
+    const auto trace = cloudnet::wikipedia_like(10, rng);
+    cloudnet::InstanceConfig cfg;
+    cfg.num_tier2 = 3;
+    cfg.num_tier1 = 5;
+    cfg.sla_k = 2;
+    cfg.reconfig_weight = 150.0;
+    cfg.seed = 2016;
+    inst_ = new core::Instance(cloudnet::build_instance(cfg, trace));
+
+    roa_ = new core::RoaRun(core::run_roa(*inst_));
+    offline_ = new baselines::BaselineRun(baselines::run_offline_optimum(*inst_));
+    greedy_ = new baselines::BaselineRun(baselines::run_one_shot_sequence(*inst_));
+    lcpm_ = new baselines::BaselineRun(baselines::run_lcp_m(*inst_));
+    core::ControlOptions copts;
+    copts.window = 3;
+    rfhc_ = new core::ControlRun(core::run_rfhc(*inst_, copts));
+    rrhc_ = new core::ControlRun(core::run_rrhc(*inst_, copts));
+  }
+
+  static void TearDownTestSuite() {
+    delete inst_;
+    delete roa_;
+    delete offline_;
+    delete greedy_;
+    delete lcpm_;
+    delete rfhc_;
+    delete rrhc_;
+  }
+
+  static core::Instance* inst_;
+  static core::RoaRun* roa_;
+  static baselines::BaselineRun* offline_;
+  static baselines::BaselineRun* greedy_;
+  static baselines::BaselineRun* lcpm_;
+  static core::ControlRun* rfhc_;
+  static core::ControlRun* rrhc_;
+};
+
+core::Instance* IntegrationPipeline::inst_ = nullptr;
+core::RoaRun* IntegrationPipeline::roa_ = nullptr;
+baselines::BaselineRun* IntegrationPipeline::offline_ = nullptr;
+baselines::BaselineRun* IntegrationPipeline::greedy_ = nullptr;
+baselines::BaselineRun* IntegrationPipeline::lcpm_ = nullptr;
+core::ControlRun* IntegrationPipeline::rfhc_ = nullptr;
+core::ControlRun* IntegrationPipeline::rrhc_ = nullptr;
+
+TEST_F(IntegrationPipeline, EveryPolicyIsFeasible) {
+  for (const auto* traj :
+       {&roa_->trajectory, &offline_->trajectory, &greedy_->trajectory,
+        &lcpm_->trajectory, &rfhc_->trajectory, &rrhc_->trajectory}) {
+    EXPECT_TRUE(core::is_feasible(*inst_, *traj, 1e-5));
+  }
+}
+
+TEST_F(IntegrationPipeline, OfflineIsGlobalLowerBound) {
+  const double opt = offline_->cost.total();
+  EXPECT_LE(opt, roa_->cost.total() + 1e-6);
+  EXPECT_LE(opt, greedy_->cost.total() + 1e-6);
+  EXPECT_LE(opt, lcpm_->cost.total() + 1e-6);
+  EXPECT_LE(opt, rfhc_->cost.total() + 1e-6);
+  EXPECT_LE(opt, rrhc_->cost.total() + 1e-6);
+}
+
+TEST_F(IntegrationPipeline, Theorem1And4Chain) {
+  const double opt = offline_->cost.total();
+  const double r = core::theoretical_ratio(*inst_, 1e-2, 1e-2);
+  EXPECT_LE(roa_->cost.total(), r * opt);
+  const double tol = 1e-3 * roa_->cost.total();
+  EXPECT_LE(rfhc_->cost.total(), roa_->cost.total() + tol);
+  EXPECT_LE(rrhc_->cost.total(), roa_->cost.total() + tol);
+}
+
+TEST_F(IntegrationPipeline, ExactPredictionsNeedNoRepairs) {
+  EXPECT_EQ(rfhc_->repairs, 0u);
+  EXPECT_EQ(rrhc_->repairs, 0u);
+}
+
+TEST_F(IntegrationPipeline, ReplayServesAllDemand) {
+  for (const auto* traj :
+       {&roa_->trajectory, &offline_->trajectory, &rfhc_->trajectory}) {
+    const auto report = eval::replay_trajectory(*inst_, *traj);
+    EXPECT_NEAR(report.drop_rate, 0.0, 1e-7);
+    EXPECT_EQ(report.violation_slots, 0u);
+  }
+}
+
+TEST_F(IntegrationPipeline, CertificateConsistentWithOffline) {
+  core::RoaOptions opts;
+  opts.eps = opts.eps_prime = 0.1;
+  opts.ipm.tol = 1e-6;
+  const auto cert = core::verify_competitive_certificate(*inst_, opts);
+  EXPECT_TRUE(cert.consistent(2e-2));
+  EXPECT_LE(cert.dual_objective, offline_->cost.total() * (1.0 + 2e-2));
+}
+
+TEST_F(IntegrationPipeline, CostBreakdownsAddUp) {
+  for (const auto* run : {greedy_, offline_, lcpm_}) {
+    const auto recomputed = core::total_cost(*inst_, run->trajectory);
+    EXPECT_NEAR(recomputed.total(), run->cost.total(),
+                1e-9 * (1.0 + run->cost.total()));
+    EXPECT_GE(recomputed.allocation, 0.0);
+    EXPECT_GE(recomputed.reconfiguration, 0.0);
+  }
+}
+
+TEST_F(IntegrationPipeline, CumulativeCurvesAreMonotone) {
+  for (const auto* traj : {&roa_->trajectory, &greedy_->trajectory}) {
+    const auto curve = core::cumulative_cost(*inst_, *traj);
+    for (std::size_t t = 1; t < curve.size(); ++t)
+      EXPECT_GE(curve[t], curve[t - 1] - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sora

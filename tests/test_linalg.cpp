@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace sora::linalg {
+namespace {
+
+TEST(VectorOps, DotAxpyNorms) {
+  const Vec a{1.0, 2.0, 3.0};
+  const Vec b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  Vec y = b;
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  EXPECT_NEAR(norm2(a), std::sqrt(14.0), 1e-15);
+  EXPECT_DOUBLE_EQ(sum(a), 6.0);
+}
+
+TEST(VectorOps, PositivePart) {
+  const Vec v{-1.0, 0.0, 2.5};
+  const Vec p = positive_part(v);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 2.5);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vec x{1.0, 0.0, -1.0};
+  const Vec y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+
+  const Vec z{1.0, 1.0};
+  const Vec w = a.multiply_transpose(z);
+  EXPECT_DOUBLE_EQ(w[0], 5.0);
+  EXPECT_DOUBLE_EQ(w[1], 7.0);
+  EXPECT_DOUBLE_EQ(w[2], 9.0);
+
+  const Matrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+}
+
+TEST(Matrix, MatMulAgainstIdentity) {
+  util::Rng rng(1);
+  Matrix a(5, 5);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.normal();
+  const Matrix prod = a.multiply(Matrix::identity(5));
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(Cholesky, FactorsAndSolvesSpd) {
+  // A = L0 L0^T with a known L0.
+  Matrix l0(3, 3);
+  l0(0, 0) = 2.0;
+  l0(1, 0) = -1.0;
+  l0(1, 1) = 1.5;
+  l0(2, 0) = 0.5;
+  l0(2, 1) = 0.25;
+  l0(2, 2) = 3.0;
+  const Matrix a = l0.multiply(l0.transpose());
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Vec b{1.0, 2.0, 3.0};
+  const Vec x = chol->solve(b);
+  const Vec r = a.multiply(x);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(r[i], b[i], 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, RegularizedShiftsSingular) {
+  Matrix a(2, 2);  // rank-1 PSD
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const Cholesky chol = Cholesky::factor_regularized(a, 1e-10, 1.0);
+  EXPECT_GT(chol.applied_shift(), 0.0);
+  const Vec x = chol.solve({1.0, 1.0});
+  EXPECT_TRUE(std::isfinite(x[0]) && std::isfinite(x[1]));
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 8;
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+    Vec b(n);
+    for (auto& v : b) v = rng.normal();
+    const auto lu = Lu::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    const Vec x = lu->solve(b);
+    const Vec r = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-9);
+
+    const Vec xt = lu->solve_transpose(b);
+    const Vec rt = a.multiply_transpose(xt);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(rt[i], b[i], 1e-9);
+  }
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_FALSE(Lu::factor(a).has_value());
+}
+
+TEST(Sparse, FromTripletsMergesDuplicates) {
+  std::vector<Triplet> t{{0, 0, 1.0}, {0, 0, 2.0}, {1, 2, -1.0}, {1, 2, 1.0}};
+  const auto m = SparseMatrix::from_triplets(2, 3, t);
+  EXPECT_EQ(m.nonzeros(), 1u);  // (1,2) cancels, (0,0) merges to 3
+  const Vec y = m.multiply({1.0, 0.0, 5.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  util::Rng rng(21);
+  const std::size_t rows = 20, cols = 15;
+  Matrix dense(rows, cols);
+  std::vector<Triplet> trip;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      if (rng.uniform() < 0.3) {
+        const double v = rng.normal();
+        dense(r, c) = v;
+        trip.push_back({r, c, v});
+      }
+  const auto sparse = SparseMatrix::from_triplets(rows, cols, trip);
+  Vec x(cols);
+  for (auto& v : x) v = rng.normal();
+  const Vec ys = sparse.multiply(x);
+  const Vec yd = dense.multiply(x);
+  for (std::size_t r = 0; r < rows; ++r) EXPECT_NEAR(ys[r], yd[r], 1e-12);
+
+  Vec z(rows);
+  for (auto& v : z) v = rng.normal();
+  const Vec ws = sparse.multiply_transpose(z);
+  const Vec wd = dense.multiply_transpose(z);
+  for (std::size_t c = 0; c < cols; ++c) EXPECT_NEAR(ws[c], wd[c], 1e-12);
+}
+
+TEST(Sparse, AbsSumsAndScale) {
+  std::vector<Triplet> t{{0, 0, 3.0}, {0, 1, -4.0}, {1, 1, 2.0}};
+  auto m = SparseMatrix::from_triplets(2, 2, t);
+  const Vec r1 = m.row_abs_sums(1.0);
+  EXPECT_DOUBLE_EQ(r1[0], 7.0);
+  EXPECT_DOUBLE_EQ(r1[1], 2.0);
+  const Vec rmax = m.row_abs_sums(0.0);
+  EXPECT_DOUBLE_EQ(rmax[0], 4.0);
+  const Vec c2 = m.col_abs_sums(2.0);
+  EXPECT_DOUBLE_EQ(c2[0], 9.0);
+  EXPECT_DOUBLE_EQ(c2[1], 20.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+
+  m.scale({0.5, 2.0}, {1.0, 0.25});
+  const Vec y = m.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.5 - 0.5);  // 3*0.5*1 + (-4)*0.5*0.25
+  EXPECT_DOUBLE_EQ(y[1], 1.0);        // 2*2*0.25
+}
+
+TEST(Sparse, TripletBuilderDropsZeros) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 0.0);
+  b.add(1, 1, 5.0);
+  const auto m = std::move(b).build();
+  EXPECT_EQ(m.nonzeros(), 1u);
+}
+
+}  // namespace
+}  // namespace sora::linalg

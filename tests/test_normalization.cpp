@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/competitive.hpp"
+#include "core/cost.hpp"
+#include "core/normalization.hpp"
+#include "core/roa.hpp"
+#include "util/rng.hpp"
+
+namespace sora::core {
+namespace {
+
+Instance big_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto trace = cloudnet::wikipedia_like(8, rng);
+  // Blow the units up: demand peak 40 instead of 1.
+  for (double& v : trace.demand) v *= 40.0;
+  cloudnet::InstanceConfig cfg;
+  cfg.num_tier2 = 3;
+  cfg.num_tier1 = 5;
+  cfg.sla_k = 2;
+  cfg.reconfig_weight = 50.0;
+  cfg.seed = seed;
+  return cloudnet::build_instance(cfg, trace);
+}
+
+TEST(Normalization, CapacitiesScaledToAtMostOne) {
+  const Instance inst = big_instance(1);
+  const auto norm = normalize_instance(inst);
+  EXPECT_GT(norm.scale, 1.0);
+  double max_cap = 0.0;
+  for (double c : norm.instance.tier2_capacity)
+    max_cap = std::max(max_cap, c);
+  EXPECT_NEAR(max_cap, 1.0, 1e-12);
+  // Demands shrink by the same factor.
+  EXPECT_NEAR(norm.instance.demand[0][0] * norm.scale, inst.demand[0][0],
+              1e-9);
+}
+
+TEST(Normalization, TheoreticalRatioShrinks) {
+  const Instance inst = big_instance(2);
+  const auto norm = normalize_instance(inst);
+  EXPECT_LT(theoretical_ratio(norm.instance, 0.1, 0.1),
+            theoretical_ratio(inst, 0.1, 0.1));
+}
+
+TEST(Normalization, RoaDecisionsAreEquivariant) {
+  // Solving the normalized problem with eps scaled by the same factor and
+  // translating back reproduces the original decisions (the paper's
+  // translate-back remark).
+  const Instance inst = big_instance(3);
+  const auto norm = normalize_instance(inst);
+
+  RoaOptions orig_opts;
+  orig_opts.eps = orig_opts.eps_prime = 0.05 * norm.scale;
+  const RoaRun direct = run_roa(inst, orig_opts);
+
+  RoaOptions norm_opts;
+  norm_opts.eps = norm_opts.eps_prime = 0.05;
+  const RoaRun scaled = run_roa(norm.instance, norm_opts);
+  const Trajectory translated = denormalize(norm, scaled.trajectory);
+
+  ASSERT_EQ(direct.trajectory.horizon(), translated.horizon());
+  for (std::size_t t = 0; t < translated.horizon(); ++t)
+    for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+      EXPECT_NEAR(direct.trajectory.slots[t].x[e], translated.slots[t].x[e],
+                  1e-3 * (1.0 + direct.trajectory.slots[t].x[e]));
+      EXPECT_NEAR(direct.trajectory.slots[t].y[e], translated.slots[t].y[e],
+                  1e-3 * (1.0 + direct.trajectory.slots[t].y[e]));
+    }
+}
+
+TEST(Normalization, TranslatedTrajectoryFeasibleAndSameCostScale) {
+  const Instance inst = big_instance(4);
+  const auto norm = normalize_instance(inst);
+  const RoaRun scaled = run_roa(norm.instance);
+  const Trajectory translated = denormalize(norm, scaled.trajectory);
+  EXPECT_TRUE(is_feasible(inst, translated, 1e-4 * norm.scale));
+  // Costs are homogeneous of degree one in the resource amounts.
+  EXPECT_NEAR(total_cost(inst, translated).total(),
+              scaled.cost.total() * norm.scale,
+              1e-6 * scaled.cost.total() * norm.scale);
+}
+
+}  // namespace
+}  // namespace sora::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/ntier.hpp"
+#include "util/rng.hpp"
+
+namespace sora::core {
+namespace {
+
+NTierInstance make_3tier(std::size_t horizon, double reconfig_weight,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> trace(horizon);
+  for (std::size_t t = 0; t < horizon; ++t)
+    trace[t] = 0.5 + 0.4 * std::sin(0.4 * static_cast<double>(t)) +
+               0.05 * rng.uniform();
+  NTierConfig cfg;
+  cfg.tier_sizes = {6, 4, 2};
+  cfg.sla_k = 2;
+  cfg.reconfig_weight = reconfig_weight;
+  util::Rng build_rng(seed + 1);
+  return build_ntier_instance(cfg, trace, build_rng);
+}
+
+TEST(NTier, TopologyStructure) {
+  const NTierInstance inst = make_3tier(4, 10.0, 1);
+  EXPECT_EQ(inst.num_tiers, 3u);
+  EXPECT_EQ(inst.num_nodes(), 12u);
+  EXPECT_EQ(inst.num_links(), 6u * 2 + 4u * 2);
+  EXPECT_EQ(inst.num_demands(), 6u);
+  for (std::size_t j = 0; j < inst.num_demands(); ++j)
+    EXPECT_FALSE(inst.admissible_links(j).empty());
+}
+
+TEST(NTier, NodeKeysArePerTierOffsets) {
+  const NTierInstance inst = make_3tier(2, 10.0, 2);
+  EXPECT_EQ(inst.node_key(0, 0), 0u);
+  EXPECT_EQ(inst.node_key(1, 0), 6u);
+  EXPECT_EQ(inst.node_key(2, 1), 11u);
+}
+
+TEST(NTier, OfflineFeasibleAndCheapest) {
+  const NTierInstance inst = make_3tier(6, 50.0, 3);
+  const NTierTrajectory offline = run_ntier_offline(inst);
+  const NTierTrajectory greedy = run_ntier_greedy(inst);
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    EXPECT_LE(ntier_slot_violation(inst, t, offline.slots[t]), 1e-5);
+    EXPECT_LE(ntier_slot_violation(inst, t, greedy.slots[t]), 1e-5);
+  }
+  EXPECT_LE(ntier_total_cost(inst, offline),
+            ntier_total_cost(inst, greedy) + 1e-6);
+}
+
+TEST(NTier, RoaFeasibleEverySlot) {
+  const NTierInstance inst = make_3tier(5, 100.0, 4);
+  const NTierTrajectory roa = run_ntier_roa(inst);
+  ASSERT_EQ(roa.slots.size(), inst.horizon);
+  for (std::size_t t = 0; t < inst.horizon; ++t)
+    EXPECT_LE(ntier_slot_violation(inst, t, roa.slots[t]), 1e-4) << "t=" << t;
+}
+
+TEST(NTier, RoaBeatsGreedyWithExpensiveReconfig) {
+  const NTierInstance inst = make_3tier(14, 500.0, 5);
+  const double roa = ntier_total_cost(inst, run_ntier_roa(inst));
+  const double greedy = ntier_total_cost(inst, run_ntier_greedy(inst));
+  const double offline = ntier_total_cost(inst, run_ntier_offline(inst));
+  EXPECT_LT(roa, greedy);
+  EXPECT_GE(roa, offline - 1e-6);
+}
+
+TEST(NTier, TierZeroCarriesNoNodeCost) {
+  const NTierInstance inst = make_3tier(4, 10.0, 6);
+  const NTierTrajectory roa = run_ntier_roa(inst);
+  for (const auto& slot : roa.slots)
+    for (std::size_t j = 0; j < inst.tier_sizes[0]; ++j)
+      EXPECT_DOUBLE_EQ(slot.node[inst.node_key(0, j)], 0.0);
+}
+
+// Deeper chains still work (N = 4).
+TEST(NTier, FourTierChain) {
+  util::Rng rng(7);
+  std::vector<double> trace(4);
+  for (auto& v : trace) v = rng.uniform(0.3, 1.0);
+  NTierConfig cfg;
+  cfg.tier_sizes = {4, 3, 3, 2};
+  cfg.sla_k = 2;
+  cfg.reconfig_weight = 50.0;
+  util::Rng build_rng(8);
+  const NTierInstance inst = build_ntier_instance(cfg, trace, build_rng);
+  const NTierTrajectory roa = run_ntier_roa(inst);
+  for (std::size_t t = 0; t < inst.horizon; ++t)
+    EXPECT_LE(ntier_slot_violation(inst, t, roa.slots[t]), 1e-4);
+  const double offline = ntier_total_cost(inst, run_ntier_offline(inst));
+  EXPECT_GE(ntier_total_cost(inst, roa), offline - 1e-6);
+}
+
+}  // namespace
+}  // namespace sora::core

@@ -1,0 +1,120 @@
+// Wide property sweep: the full two-tier solver against the closed-form
+// single-resource oracle on separable (1x1) instances, across the whole
+// (eps, b) grid the paper's evaluation spans. This is the strongest
+// correctness statement we can make about the P2 pipeline: for every knob
+// setting, the barrier solve of the coupled program must land on the
+// analytically known exponential-decay/follow-the-workload trajectory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost.hpp"
+#include "core/p1_model.hpp"
+#include "core/roa.hpp"
+#include "core/single_resource.hpp"
+#include "util/rng.hpp"
+
+namespace sora::core {
+namespace {
+
+struct OracleCase {
+  double eps;
+  double weight;
+};
+
+class OracleSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(OracleSweep, P2MatchesClosedFormOnSeparableInstance) {
+  const auto [eps, weight] = GetParam();
+  util::Rng rng(91);
+  const auto trace = cloudnet::wikipedia_like(8, rng);
+  cloudnet::InstanceConfig cfg;
+  cfg.num_tier2 = 1;
+  cfg.num_tier1 = 1;
+  cfg.sla_k = 1;
+  cfg.reconfig_weight = weight;
+  cfg.seed = 91;
+  const Instance inst = cloudnet::build_instance(cfg, trace);
+
+  RoaOptions options;
+  options.eps = options.eps_prime = eps;
+  options.ipm.tol = 1e-8;
+  const RoaRun run = run_roa(inst, options);
+
+  SingleResourceInstance xsub, ysub;
+  xsub.capacity = inst.tier2_capacity[0];
+  xsub.reconfig = inst.tier2_reconfig[0];
+  ysub.capacity = inst.edge_capacity[0];
+  ysub.reconfig = inst.edge_reconfig[0];
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    xsub.demand.push_back(inst.demand[t][0]);
+    xsub.price.push_back(inst.tier2_price[t][0]);
+    ysub.demand.push_back(inst.demand[t][0]);
+    ysub.price.push_back(inst.edge_price[0]);
+  }
+  const auto x_oracle = single_roa(xsub, eps);
+  const auto y_oracle = single_roa(ysub, eps);
+
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    const double scale_x = 1.0 + x_oracle[t];
+    const double scale_y = 1.0 + y_oracle[t];
+    EXPECT_NEAR(run.trajectory.slots[t].x[0], x_oracle[t], 5e-3 * scale_x)
+        << "eps=" << eps << " b=" << weight << " t=" << t;
+    EXPECT_NEAR(run.trajectory.slots[t].y[0], y_oracle[t], 5e-3 * scale_y)
+        << "eps=" << eps << " b=" << weight << " t=" << t;
+  }
+
+  // And the costs agree with the oracle's total.
+  const double oracle_cost = single_total_cost(xsub, x_oracle) +
+                             single_total_cost(ysub, y_oracle);
+  EXPECT_NEAR(run.cost.total(), oracle_cost,
+              5e-3 * (1.0 + oracle_cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OracleSweep,
+    ::testing::Combine(::testing::Values(1e-3, 1e-2, 1e-1, 1.0, 10.0),
+                       ::testing::Values(10.0, 100.0, 1000.0)));
+
+// The offline LP must also agree with the single-resource offline oracle on
+// the same separable family, across reconfiguration weights.
+class OfflineOracleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OfflineOracleSweep, OfflineLpMatchesOracle) {
+  const double weight = GetParam();
+  util::Rng rng(92);
+  const auto trace = cloudnet::wikipedia_like(10, rng);
+  cloudnet::InstanceConfig cfg;
+  cfg.num_tier2 = 1;
+  cfg.num_tier1 = 1;
+  cfg.sla_k = 1;
+  cfg.reconfig_weight = weight;
+  cfg.seed = 92;
+  const Instance inst = cloudnet::build_instance(cfg, trace);
+
+  const Trajectory offline = solve_offline(inst);
+
+  SingleResourceInstance xsub, ysub;
+  xsub.capacity = inst.tier2_capacity[0];
+  xsub.reconfig = inst.tier2_reconfig[0];
+  ysub.capacity = inst.edge_capacity[0];
+  ysub.reconfig = inst.edge_reconfig[0];
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    xsub.demand.push_back(inst.demand[t][0]);
+    xsub.price.push_back(inst.tier2_price[t][0]);
+    ysub.demand.push_back(inst.demand[t][0]);
+    ysub.price.push_back(inst.edge_price[0]);
+  }
+  const double oracle = single_total_cost(xsub, single_offline(xsub)) +
+                        single_total_cost(ysub, single_offline(ysub));
+  EXPECT_NEAR(total_cost(inst, offline).total(), oracle,
+              1e-4 * (1.0 + oracle))
+      << "b=" << weight;
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, OfflineOracleSweep,
+                         ::testing::Values(1.0, 10.0, 100.0, 1000.0));
+
+}  // namespace
+}  // namespace sora::core

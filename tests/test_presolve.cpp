@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "solver/lp_solve.hpp"
+#include "solver/presolve.hpp"
+#include "util/rng.hpp"
+
+namespace sora::solver {
+namespace {
+
+TEST(Presolve, FixedVariableSubstituted) {
+  LpBuilder b;
+  const auto x = b.add_variable(3.0, 3.0, 2.0);  // fixed at 3, cost 2
+  const auto y = b.add_variable(0.0, kInf, 1.0);
+  b.add_ge({{x, 1.0}, {y, 1.0}}, 5.0);
+  const Presolve pre(b.build());
+  ASSERT_FALSE(pre.detected_infeasible());
+  EXPECT_EQ(pre.removed_vars(), 1u);
+  ASSERT_EQ(pre.reduced().num_vars(), 1u);
+  // After substituting x the row becomes a singleton on y and is itself
+  // converted into the bound y >= 2; the fixed cost folds into the offset.
+  EXPECT_EQ(pre.reduced().num_rows(), 0u);
+  EXPECT_DOUBLE_EQ(pre.reduced().var_lower[0], 2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced().objective_offset, 6.0);
+
+  const auto sol = solve_with_presolve(
+      b.build(), [](const LpModel& m) { return solve_simplex(m); });
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.objective, 8.0, 1e-9);  // 2*3 + 1*2
+  EXPECT_NEAR(sol.x[x], 3.0, 1e-12);
+  EXPECT_NEAR(sol.x[y], 2.0, 1e-9);
+}
+
+TEST(Presolve, SingletonRowBecomesBound) {
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, 10.0, 1.0);
+  b.add_ge({{x, 2.0}}, 6.0);  // x >= 3
+  const Presolve pre(b.build());
+  ASSERT_FALSE(pre.detected_infeasible());
+  EXPECT_EQ(pre.removed_rows(), 1u);
+  ASSERT_EQ(pre.reduced().num_vars(), 1u);
+  EXPECT_DOUBLE_EQ(pre.reduced().var_lower[0], 3.0);
+}
+
+TEST(Presolve, NegativeCoefficientSingleton) {
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, 10.0, -1.0);
+  b.add_ge({{x, -1.0}}, -4.0);  // -x >= -4  ->  x <= 4
+  const Presolve pre(b.build());
+  ASSERT_FALSE(pre.detected_infeasible());
+  EXPECT_DOUBLE_EQ(pre.reduced().var_upper[0], 4.0);
+  const auto sol = solve_with_presolve(
+      b.build(), [](const LpModel& m) { return solve_simplex(m); });
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.objective, -4.0, 1e-9);
+}
+
+TEST(Presolve, CascadingFixpoint) {
+  // Singleton fixes x to its upper bound; the second row then becomes a
+  // singleton on y.
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, 5.0, 1.0);
+  const auto y = b.add_variable(0.0, 10.0, 1.0);
+  b.add_ge({{x, 1.0}}, 5.0);            // x >= 5 -> x fixed at 5
+  b.add_ge({{x, 1.0}, {y, 1.0}}, 8.0);  // then y >= 3
+  const Presolve pre(b.build());
+  ASSERT_FALSE(pre.detected_infeasible());
+  EXPECT_EQ(pre.removed_vars(), 1u);
+  EXPECT_EQ(pre.removed_rows(), 2u);
+  ASSERT_EQ(pre.reduced().num_vars(), 1u);
+  EXPECT_DOUBLE_EQ(pre.reduced().var_lower[0], 3.0);
+}
+
+TEST(Presolve, DetectsEmptyRowInfeasibility) {
+  LpBuilder b;
+  const auto x = b.add_variable(2.0, 2.0, 1.0);  // fixed
+  b.add_ge({{x, 1.0}}, 5.0);                     // 2 >= 5: impossible
+  const Presolve pre(b.build());
+  EXPECT_TRUE(pre.detected_infeasible());
+}
+
+TEST(Presolve, DetectsCrossedBoundsViaSingleton) {
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, 1.0, 1.0);
+  b.add_ge({{x, 1.0}}, 5.0);  // x >= 5 but x <= 1
+  const Presolve pre(b.build());
+  EXPECT_TRUE(pre.detected_infeasible());
+}
+
+TEST(Presolve, SolutionsMatchWithoutPresolve) {
+  util::Rng rng(88);
+  for (int trial = 0; trial < 12; ++trial) {
+    LpBuilder b;
+    const std::size_t n = 8;
+    std::vector<double> ub(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      ub[j] = rng.uniform(1.0, 6.0);
+      // A third of the variables fixed.
+      const bool fix = rng.uniform() < 0.33;
+      const double lo = fix ? ub[j] : 0.0;
+      b.add_variable(lo, ub[j], rng.uniform(0.2, 2.0));
+    }
+    for (std::size_t i = 0; i < 6; ++i) {
+      std::vector<LinTerm> terms;
+      double reach = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        if (rng.uniform() < 0.4) {
+          terms.push_back({j, rng.uniform(0.2, 1.0)});
+          reach += terms.back().coeff * ub[j];
+        }
+      if (terms.empty()) continue;
+      b.add_ge(terms, rng.uniform(0.0, 0.5 * reach));
+    }
+    const LpModel model = b.build();
+    const auto direct = solve_simplex(model);
+    const auto presolved = solve_with_presolve(
+        model, [](const LpModel& m) { return solve_simplex(m); });
+    ASSERT_EQ(direct.status, presolved.status);
+    if (direct.ok()) {
+      EXPECT_NEAR(direct.objective, presolved.objective,
+                  1e-7 * (1.0 + std::fabs(direct.objective)));
+      EXPECT_LE(model.max_violation(presolved.x), 1e-7);
+    }
+  }
+}
+
+TEST(Presolve, PinnedWindowShrinksSubstantially) {
+  // A pinned final slot in the P1 window LP fixes a whole slot of variables;
+  // presolve should strip them.
+  LpBuilder b;
+  const std::size_t n = 20;
+  for (std::size_t j = 0; j < n; ++j) {
+    const bool pinned = j >= n / 2;
+    b.add_variable(pinned ? 1.0 : 0.0, pinned ? 1.0 : 5.0, 1.0);
+  }
+  std::vector<LinTerm> terms;
+  for (std::size_t j = 0; j < n; ++j) terms.push_back({j, 1.0});
+  b.add_ge(terms, 12.0);
+  const Presolve pre(b.build());
+  EXPECT_EQ(pre.removed_vars(), n / 2);
+}
+
+}  // namespace
+}  // namespace sora::solver

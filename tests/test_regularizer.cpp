@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/regularizer.hpp"
+#include "util/check.hpp"
+
+namespace sora::core {
+namespace {
+
+TEST(Regularizer, EtaFormula) {
+  EXPECT_DOUBLE_EQ(regularizer_eta(0.0, 1.0), 0.0);
+  EXPECT_NEAR(regularizer_eta(9.0, 1.0), std::log(10.0), 1e-15);
+  EXPECT_NEAR(regularizer_eta(1.0, 0.01), std::log(101.0), 1e-15);
+}
+
+TEST(Regularizer, EntropicZeroAtPrevIsMinusPrev) {
+  // value(v=prev) = -prev (the term's additive constant; gradient is 0).
+  EXPECT_NEAR(entropic_value(2.0, 2.0, 0.1), -2.0, 1e-15);
+  EXPECT_NEAR(entropic_gradient(2.0, 2.0, 0.1), 0.0, 1e-15);
+}
+
+TEST(Regularizer, GradientSignMatchesDirection) {
+  EXPECT_GT(entropic_gradient(3.0, 2.0, 0.1), 0.0);  // above prev: positive
+  EXPECT_LT(entropic_gradient(1.0, 2.0, 0.1), 0.0);  // below prev: negative
+}
+
+TEST(Regularizer, ConvexityViaSecantInequality) {
+  const double eps = 0.05, prev = 1.5;
+  for (double a = 0.0; a <= 4.0; a += 0.5) {
+    for (double b = a + 0.1; b <= 4.5; b += 0.7) {
+      const double mid = 0.5 * (a + b);
+      const double secant =
+          0.5 * (entropic_value(a, prev, eps) + entropic_value(b, prev, eps));
+      EXPECT_LE(entropic_value(mid, prev, eps), secant + 1e-12);
+    }
+  }
+}
+
+TEST(Regularizer, HessianIsGradientDerivative) {
+  const double eps = 0.2, prev = 1.0, v = 0.7, h = 1e-6;
+  const double numeric =
+      (entropic_gradient(v + h, prev, eps) - entropic_gradient(v - h, prev, eps)) /
+      (2.0 * h);
+  EXPECT_NEAR(numeric, entropic_hessian(v, eps), 1e-6);
+}
+
+TEST(Regularizer, DecayPointEquationSix) {
+  // x = (prev + eps) (1 + C/eps)^(-a/b) - eps, paper eq. (6).
+  const double prev = 4.0, a = 0.3, b = 2.0, cap = 10.0, eps = 0.01;
+  const double expected =
+      (prev + eps) * std::pow(1.0 + cap / eps, -a / b) - eps;
+  EXPECT_NEAR(decay_point(prev, a, b, cap, eps), expected, 1e-12);
+}
+
+TEST(Regularizer, DecayPointIsBelowPrev) {
+  // Positive price always pulls the decay point strictly below prev.
+  for (double a : {0.01, 0.5, 2.0})
+    for (double prev : {0.5, 1.0, 7.5})
+      EXPECT_LT(decay_point(prev, a, 3.0, 10.0, 0.1), prev);
+}
+
+TEST(Regularizer, DecayPointStationarity) {
+  // The decay point zeroes the gradient of a*v + (b/eta)*entropic(v|prev).
+  const double prev = 2.0, a = 0.4, b = 1.5, cap = 8.0, eps = 0.05;
+  const double v = decay_point(prev, a, b, cap, eps);
+  const double w = b / regularizer_eta(cap, eps);
+  EXPECT_NEAR(a + w * entropic_gradient(v, prev, eps), 0.0, 1e-10);
+}
+
+TEST(Regularizer, LargerPriceDecaysFaster) {
+  const double prev = 5.0;
+  double last = prev;
+  for (double a : {0.1, 0.3, 1.0, 3.0}) {
+    const double v = decay_point(prev, a, 2.0, 10.0, 0.1);
+    EXPECT_LT(v, last);
+    last = v;
+  }
+}
+
+TEST(Regularizer, LargerReconfigPriceDecaysSlower) {
+  const double prev = 5.0;
+  double last = -1.0;
+  for (double b : {0.5, 1.0, 5.0, 50.0}) {
+    const double v = decay_point(prev, 0.5, b, 10.0, 0.1);
+    EXPECT_GT(v, last);
+    last = v;
+  }
+}
+
+TEST(Regularizer, RejectsBadInputs) {
+  EXPECT_THROW(regularizer_eta(-1.0, 0.1), util::CheckError);
+  EXPECT_THROW(regularizer_eta(1.0, 0.0), util::CheckError);
+  EXPECT_THROW(decay_point(1.0, 0.5, 0.0, 1.0, 0.1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace sora::core

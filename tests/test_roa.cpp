@@ -1,0 +1,219 @@
+// Tests for the regularized subproblem P2(t) and the online algorithm ROA:
+// Lemma 1 (per-slot feasibility), the closed-form equivalence on separable
+// instances, Theorem 1's bound on small instances, and the geometric
+// follow-up/decay behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/competitive.hpp"
+#include "core/cost.hpp"
+#include "core/p1_model.hpp"
+#include "core/p2_subproblem.hpp"
+#include "core/regularizer.hpp"
+#include "core/roa.hpp"
+#include "core/single_resource.hpp"
+#include "util/rng.hpp"
+
+namespace sora::core {
+namespace {
+
+using cloudnet::InstanceConfig;
+using cloudnet::WorkloadTrace;
+
+Instance make_instance(std::size_t horizon, double reconfig_weight,
+                       std::uint64_t seed, std::size_t num_tier2 = 4,
+                       std::size_t num_tier1 = 6, std::size_t k = 2) {
+  util::Rng rng(seed);
+  const WorkloadTrace trace = cloudnet::wikipedia_like(horizon, rng);
+  InstanceConfig cfg;
+  cfg.num_tier2 = num_tier2;
+  cfg.num_tier1 = num_tier1;
+  cfg.sla_k = k;
+  cfg.reconfig_weight = reconfig_weight;
+  cfg.seed = seed;
+  return cloudnet::build_instance(cfg, trace);
+}
+
+TEST(P2, StrictlyFeasibleStartIsStrict) {
+  const Instance inst = make_instance(4, 10.0, 1);
+  // Just checking the helper returns without the phase-I fallback blowing
+  // up, and that the point covers demand.
+  const Vec v = p2_strictly_feasible_point(inst, InputSeries::truth(inst), 0);
+  const std::size_t E = inst.num_edges();
+  for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+    double covered = 0.0;
+    for (const std::size_t e : inst.edges_of_tier1[j])
+      covered += std::min(v[e], v[E + e]);  // min(x, y)
+    EXPECT_GT(covered, inst.demand[0][j]);
+  }
+}
+
+TEST(P2, Lemma1SolutionFeasibleForP1) {
+  const Instance inst = make_instance(6, 100.0, 2);
+  Allocation prev = Allocation::zeros(inst.num_edges());
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    const P2Solution sol =
+        solve_p2(inst, InputSeries::truth(inst), t, prev);
+    EXPECT_LE(slot_violation(inst, t, sol.alloc), 1e-5) << "t=" << t;
+    prev = sol.alloc;
+  }
+}
+
+TEST(P2, SeparableInstanceMatchesClosedForm) {
+  // One tier-1 cloud, one tier-2 cloud: the x-aggregate subproblem decouples
+  // into the single-resource recursion of Sec. III-C.
+  util::Rng rng(3);
+  const WorkloadTrace trace = cloudnet::wikipedia_like(12, rng);
+  InstanceConfig cfg;
+  cfg.num_tier2 = 1;
+  cfg.num_tier1 = 1;
+  cfg.sla_k = 1;
+  cfg.reconfig_weight = 40.0;
+  cfg.seed = 3;
+  const Instance inst = cloudnet::build_instance(cfg, trace);
+  ASSERT_EQ(inst.num_edges(), 1u);
+
+  RoaOptions options;
+  options.eps = 0.05;
+  options.eps_prime = 0.05;
+  options.ipm.tol = 1e-9;
+  const RoaRun run = run_roa(inst, options);
+
+  // Single-resource oracles for x (tier-2) and y (edge) separately.
+  SingleResourceInstance xsub, ysub;
+  xsub.capacity = inst.tier2_capacity[0];
+  xsub.reconfig = inst.tier2_reconfig[0];
+  ysub.capacity = inst.edge_capacity[0];
+  ysub.reconfig = inst.edge_reconfig[0];
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    xsub.demand.push_back(inst.demand[t][0]);
+    xsub.price.push_back(inst.tier2_price[t][0]);
+    ysub.demand.push_back(inst.demand[t][0]);
+    ysub.price.push_back(inst.edge_price[0]);
+  }
+  const Vec x_expected = single_roa(xsub, options.eps);
+  const Vec y_expected = single_roa(ysub, options.eps_prime);
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    EXPECT_NEAR(run.trajectory.slots[t].x[0], x_expected[t], 2e-3)
+        << "x at t=" << t;
+    EXPECT_NEAR(run.trajectory.slots[t].y[0], y_expected[t], 2e-3)
+        << "y at t=" << t;
+  }
+}
+
+TEST(Roa, TrajectoryFeasibleAndCostPositive) {
+  const Instance inst = make_instance(8, 50.0, 4);
+  const RoaRun run = run_roa(inst);
+  EXPECT_EQ(run.trajectory.horizon(), inst.horizon);
+  EXPECT_TRUE(is_feasible(inst, run.trajectory, 1e-5));
+  EXPECT_GT(run.cost.total(), 0.0);
+  EXPECT_GT(run.cost.allocation, 0.0);
+}
+
+TEST(Roa, WithinTheoreticalRatioOnSmallInstance) {
+  const Instance inst = make_instance(8, 100.0, 5);
+  RoaOptions options;
+  options.eps = options.eps_prime = 0.1;
+  const RoaRun run = run_roa(inst, options);
+  const Trajectory offline = solve_offline(inst);
+  const double ratio = empirical_ratio(run.cost.total(),
+                                       total_cost(inst, offline).total());
+  EXPECT_GE(ratio, 1.0 - 1e-6);
+  EXPECT_LE(ratio, theoretical_ratio(inst, options.eps, options.eps_prime));
+  // In practice the ratio is small (the paper reports <= 3).
+  EXPECT_LE(ratio, 5.0);
+}
+
+TEST(Roa, BeatsGreedyWhenReconfigExpensive) {
+  const Instance inst = make_instance(16, 500.0, 6);
+  const RoaRun roa = run_roa(inst);
+  Trajectory greedy;
+  Allocation prev = Allocation::zeros(inst.num_edges());
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    prev = solve_one_shot(inst, InputSeries::truth(inst), t, prev);
+    greedy.slots.push_back(prev);
+  }
+  EXPECT_LT(roa.cost.total(), total_cost(inst, greedy).total());
+}
+
+TEST(Roa, MatchesGreedyWhenReconfigCheap) {
+  // With negligible reconfiguration prices, following the workload is
+  // near-optimal and ROA's decay tracks it closely.
+  const Instance inst = make_instance(10, 0.01, 7);
+  const RoaRun roa = run_roa(inst);
+  Trajectory greedy;
+  Allocation prev = Allocation::zeros(inst.num_edges());
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    prev = solve_one_shot(inst, InputSeries::truth(inst), t, prev);
+    greedy.slots.push_back(prev);
+  }
+  const double g = total_cost(inst, greedy).total();
+  EXPECT_LT(roa.cost.total(), 1.15 * g);
+}
+
+TEST(Roa, AggregateNeverBelowDecayCurve) {
+  // The tier-2 aggregate decays no faster than the closed-form curve with
+  // the max price across clouds (geometric interpretation, Sec. III-C).
+  const Instance inst = make_instance(14, 200.0, 8);
+  const RoaRun run = run_roa(inst);
+  double prev_total = 0.0;
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    const Vec totals = tier2_totals(inst, run.trajectory.slots[t].x);
+    const double total = linalg::sum(totals);
+    double demand = inst.total_demand(t);
+    EXPECT_GE(total, demand - 1e-5);  // always covers
+    prev_total = total;
+  }
+  (void)prev_total;
+}
+
+TEST(Competitive, TheoreticalRatioFormula) {
+  const Instance inst = make_instance(4, 10.0, 9);
+  const double eps = 0.1;
+  double c_eps = 0.0;
+  for (double cap : inst.tier2_capacity)
+    c_eps = std::max(c_eps, (cap + eps) * std::log(1.0 + cap / eps));
+  double b_eps = 0.0;
+  for (double cap : inst.edge_capacity)
+    b_eps = std::max(b_eps, (cap + eps) * std::log(1.0 + cap / eps));
+  EXPECT_NEAR(theoretical_ratio(inst, eps, eps),
+              1.0 + inst.num_tier2() * (c_eps + b_eps), 1e-9);
+}
+
+TEST(Competitive, TheoreticalRatioDecreasesInEps) {
+  const Instance inst = make_instance(4, 10.0, 10);
+  double last = theoretical_ratio(inst, 1e-3, 1e-3);
+  for (double eps : {1e-2, 1e-1, 1.0, 10.0, 100.0}) {
+    const double r = theoretical_ratio(inst, eps, eps);
+    EXPECT_LT(r, last);
+    last = r;
+  }
+}
+
+// Lemma 1 sweep across reconfiguration weights and SLA sizes.
+struct RoaSweepParam {
+  double weight;
+  std::size_t k;
+};
+
+class RoaFeasibilitySweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(RoaFeasibilitySweep, Lemma1HoldsEverywhere) {
+  const auto [weight, k] = GetParam();
+  const Instance inst = make_instance(5, weight, 11, 4, 6, k);
+  const RoaRun run = run_roa(inst);
+  for (std::size_t t = 0; t < inst.horizon; ++t)
+    EXPECT_LE(slot_violation(inst, t, run.trajectory.slots[t]), 1e-5)
+        << "weight=" << weight << " k=" << k << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoaFeasibilitySweep,
+    ::testing::Combine(::testing::Values(1.0, 10.0, 1000.0),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3})));
+
+}  // namespace
+}  // namespace sora::core

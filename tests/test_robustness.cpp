@@ -1,0 +1,131 @@
+// Failure injection and robustness: malformed inputs must fail loudly with
+// actionable errors, and the deterministic pipeline must be bit-stable.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/oneshot.hpp"
+#include "cloudnet/instance.hpp"
+#include "cloudnet/workload.hpp"
+#include "core/cost.hpp"
+#include "core/p2_subproblem.hpp"
+#include "core/roa.hpp"
+#include "core/single_resource.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sora {
+namespace {
+
+using core::Instance;
+
+Instance small_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto trace = cloudnet::wikipedia_like(6, rng);
+  cloudnet::InstanceConfig cfg;
+  cfg.num_tier2 = 3;
+  cfg.num_tier1 = 4;
+  cfg.sla_k = 2;
+  cfg.reconfig_weight = 50.0;
+  cfg.seed = seed;
+  return cloudnet::build_instance(cfg, trace);
+}
+
+TEST(Robustness, InfeasibleDemandRejectedByValidation) {
+  Instance inst = small_instance(1);
+  // Demand beyond all capacities.
+  inst.demand[2][0] = 100.0;
+  const auto report = cloudnet::validate_instance(inst);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.problems.empty());
+  EXPECT_NE(report.problems[0].find("slot 2"), std::string::npos);
+}
+
+TEST(Robustness, P2ThrowsOnImpossibleSlot) {
+  Instance inst = small_instance(2);
+  inst.demand[0][0] = 1000.0;  // beyond every capacity
+  EXPECT_THROW(core::solve_p2(inst, core::InputSeries::truth(inst), 0,
+                              core::Allocation::zeros(inst.num_edges())),
+               util::CheckError);
+}
+
+TEST(Robustness, SingleResourceValidation) {
+  core::SingleResourceInstance inst;
+  inst.demand = {1.0, 2.0};
+  inst.price = {1.0, -1.0};  // negative price
+  inst.reconfig = 1.0;
+  inst.capacity = 5.0;
+  EXPECT_THROW(inst.validate(), util::CheckError);
+  inst.price = {1.0, 1.0};
+  inst.demand = {1.0, 10.0};  // above capacity
+  EXPECT_THROW(inst.validate(), util::CheckError);
+}
+
+TEST(Robustness, EmptyTraceRejected) {
+  cloudnet::WorkloadTrace trace;
+  EXPECT_THROW(cloudnet::build_instance({}, trace), util::CheckError);
+}
+
+TEST(Robustness, CsvTraceRoundTrip) {
+  const std::string path = "/tmp/sora_test_trace.csv";
+  {
+    std::ofstream os(path);
+    os << "hour,demand\n";
+    for (int t = 0; t < 12; ++t)
+      os << t << "," << (0.5 + 0.3 * (t % 4)) << "\n";
+  }
+  const auto trace = cloudnet::load_csv_trace(path);
+  EXPECT_EQ(trace.hours(), 12u);
+  EXPECT_NEAR(trace.peak(), 1.0, 1e-12);  // normalized
+  std::remove(path.c_str());
+}
+
+TEST(Robustness, MissingTraceFileThrows) {
+  EXPECT_THROW(cloudnet::load_csv_trace("/nonexistent/path/trace.csv"),
+               util::CheckError);
+}
+
+TEST(Robustness, RoaRunIsDeterministic) {
+  const Instance inst = small_instance(3);
+  const auto a = core::run_roa(inst);
+  const auto b = core::run_roa(inst);
+  ASSERT_EQ(a.trajectory.horizon(), b.trajectory.horizon());
+  for (std::size_t t = 0; t < a.trajectory.horizon(); ++t)
+    for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+      EXPECT_DOUBLE_EQ(a.trajectory.slots[t].x[e], b.trajectory.slots[t].x[e]);
+      EXPECT_DOUBLE_EQ(a.trajectory.slots[t].y[e], b.trajectory.slots[t].y[e]);
+    }
+}
+
+TEST(Robustness, GreedyRunIsDeterministic) {
+  const Instance inst = small_instance(4);
+  const auto a = baselines::run_one_shot_sequence(inst);
+  const auto b = baselines::run_one_shot_sequence(inst);
+  EXPECT_DOUBLE_EQ(a.cost.total(), b.cost.total());
+}
+
+TEST(Robustness, ZeroDemandSlotHandled) {
+  Instance inst = small_instance(5);
+  for (std::size_t j = 0; j < inst.num_tier1(); ++j) inst.demand[3][j] = 0.0;
+  const auto run = core::run_roa(inst);
+  EXPECT_TRUE(core::is_feasible(inst, run.trajectory, 1e-5));
+  // The decayed allocation at the zero-demand slot stays nonnegative and
+  // below the previous slot's level.
+  const auto t2 = core::tier2_totals(inst, run.trajectory.slots[3].x);
+  const auto t2_prev = core::tier2_totals(inst, run.trajectory.slots[2].x);
+  for (std::size_t i = 0; i < inst.num_tier2(); ++i) {
+    EXPECT_GE(t2[i], -1e-12);
+    EXPECT_LE(t2[i], t2_prev[i] + 1e-9);
+  }
+}
+
+TEST(Robustness, TraceWithLongerHorizonThanPricesRejected) {
+  Instance inst = small_instance(6);
+  inst.demand.push_back(inst.demand.back());  // horizon mismatch
+  const auto report = cloudnet::validate_instance(inst);
+  EXPECT_FALSE(report.ok);
+}
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/lp.hpp"
+#include "solver/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace sora::solver {
+namespace {
+
+using linalg::Vec;
+
+TEST(Simplex, TwoVariableTextbook) {
+  // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18, x,y>=0  (Dantzig's example)
+  // -> min -3x -5y; optimum x=2, y=6, obj=-36.
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, kInf, -3.0, "x");
+  const auto y = b.add_variable(0.0, kInf, -5.0, "y");
+  b.add_le({{x, 1.0}}, 4.0);
+  b.add_le({{y, 2.0}}, 12.0);
+  b.add_le({{x, 3.0}, {y, 2.0}}, 18.0);
+  const auto sol = solve_simplex(b.build());
+  ASSERT_TRUE(sol.ok()) << sol.detail;
+  EXPECT_NEAR(sol.objective, -36.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[y], 6.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 10, x <= 4 -> x=4, y=6, obj=16.
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, 4.0, 1.0);
+  const auto y = b.add_variable(0.0, kInf, 2.0);
+  b.add_eq({{x, 1.0}, {y, 1.0}}, 10.0);
+  const auto sol = solve_simplex(b.build());
+  ASSERT_TRUE(sol.ok()) << sol.detail;
+  EXPECT_NEAR(sol.objective, 16.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], 4.0, 1e-8);
+}
+
+TEST(Simplex, TwoSidedRow) {
+  // min x s.t. 2 <= x + y <= 5, y <= 1, x >= 0, y >= 0 -> x=1, y=1.
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, kInf, 1.0);
+  const auto y = b.add_variable(0.0, 1.0, 0.0);
+  b.add_constraint(2.0, 5.0, {{x, 1.0}, {y, 1.0}});
+  const auto sol = solve_simplex(b.build());
+  ASSERT_TRUE(sol.ok()) << sol.detail;
+  EXPECT_NEAR(sol.objective, 1.0, 1e-8);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y, x >= -3, y >= -2, x + y >= -4 -> obj -4 (e.g. x=-3, y=-1).
+  LpBuilder b;
+  const auto x = b.add_variable(-3.0, kInf, 1.0);
+  const auto y = b.add_variable(-2.0, kInf, 1.0);
+  b.add_ge({{x, 1.0}, {y, 1.0}}, -4.0);
+  const auto sol = solve_simplex(b.build());
+  ASSERT_TRUE(sol.ok()) << sol.detail;
+  EXPECT_NEAR(sol.objective, -4.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, kInf, 1.0);
+  b.add_le({{x, 1.0}}, 1.0);
+  b.add_ge({{x, 1.0}}, 2.0);
+  const auto sol = solve_simplex(b.build());
+  EXPECT_EQ(sol.status, SolveStatus::kPrimalInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x s.t. x >= 0 (no upper bound anywhere).
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, kInf, -1.0);
+  b.add_ge({{x, 1.0}}, 0.0);
+  const auto sol = solve_simplex(b.build());
+  EXPECT_EQ(sol.status, SolveStatus::kDualInfeasible);
+}
+
+TEST(Simplex, FixedVariables) {
+  LpBuilder b;
+  const auto x = b.add_variable(3.0, 3.0, 1.0);  // fixed at 3
+  const auto y = b.add_variable(0.0, kInf, 1.0);
+  b.add_ge({{x, 1.0}, {y, 1.0}}, 5.0);
+  const auto sol = solve_simplex(b.build());
+  ASSERT_TRUE(sol.ok()) << sol.detail;
+  EXPECT_NEAR(sol.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 2.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum.
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, kInf, -1.0);
+  const auto y = b.add_variable(0.0, kInf, -1.0);
+  b.add_le({{x, 1.0}, {y, 1.0}}, 1.0);
+  b.add_le({{x, 1.0}, {y, 1.0}}, 1.0);
+  b.add_le({{x, 2.0}, {y, 2.0}}, 2.0);
+  b.add_le({{x, 1.0}}, 1.0);
+  b.add_le({{y, 1.0}}, 1.0);
+  const auto sol = solve_simplex(b.build());
+  ASSERT_TRUE(sol.ok()) << sol.detail;
+  EXPECT_NEAR(sol.objective, -1.0, 1e-8);
+}
+
+TEST(Simplex, ObjectiveOffsetCarried) {
+  LpBuilder b;
+  const auto x = b.add_variable(0.0, 10.0, 1.0);
+  b.add_ge({{x, 1.0}}, 2.0);
+  b.add_objective_offset(100.0);
+  const auto sol = solve_simplex(b.build());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.objective, 102.0, 1e-8);
+}
+
+TEST(Simplex, SolutionIsFeasible) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random covering LP: min c^T x s.t. A x >= b, 0 <= x <= u; A >= 0 keeps
+    // it feasible (push x up).
+    LpBuilder b;
+    const std::size_t n = 8, m = 6;
+    for (std::size_t j = 0; j < n; ++j)
+      b.add_variable(0.0, 10.0, rng.uniform(0.5, 2.0));
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<LinTerm> terms;
+      double reach = 0.0;  // max activity given the upper bounds of 10
+      for (std::size_t j = 0; j < n; ++j)
+        if (rng.uniform() < 0.5) {
+          terms.push_back({j, rng.uniform(0.1, 1.0)});
+          reach += terms.back().coeff * 10.0;
+        }
+      if (terms.empty()) {
+        terms.push_back({0, 1.0});
+        reach = 10.0;
+      }
+      // rhs below the reachable activity keeps the row satisfiable.
+      b.add_ge(terms, rng.uniform(0.0, 0.8 * std::min(reach, 3.75)));
+    }
+    const LpModel model = b.build();
+    const auto sol = solve_simplex(model);
+    ASSERT_TRUE(sol.ok()) << sol.detail;
+    EXPECT_LE(model.max_violation(sol.x), 1e-7);
+  }
+}
+
+// Property sweep: randomized LPs where a feasible point is known by
+// construction; the simplex must find an objective no worse than that point.
+class SimplexRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomized, BeatsKnownFeasiblePoint) {
+  util::Rng rng(1000 + GetParam());
+  const std::size_t n = 5 + GetParam() % 10;
+  const std::size_t m = 4 + GetParam() % 7;
+
+  // Known point z in [0, 5]^n.
+  Vec z(n);
+  for (auto& v : z) v = rng.uniform(0.0, 5.0);
+
+  LpBuilder b;
+  for (std::size_t j = 0; j < n; ++j)
+    b.add_variable(0.0, 5.0, rng.uniform(-1.0, 1.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<LinTerm> terms;
+    double activity = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.uniform() < 0.6) {
+        const double a = rng.uniform(-1.0, 1.0);
+        terms.push_back({j, a});
+        activity += a * z[j];
+      }
+    }
+    if (terms.empty()) continue;
+    // Rows built around z's activity, so z stays feasible.
+    if (rng.uniform() < 0.5)
+      b.add_ge(terms, activity - rng.uniform(0.0, 1.0));
+    else
+      b.add_le(terms, activity + rng.uniform(0.0, 1.0));
+  }
+  const LpModel model = b.build();
+  const auto sol = solve_simplex(model);
+  ASSERT_TRUE(sol.ok()) << sol.detail;
+  EXPECT_LE(model.max_violation(sol.x), 1e-6);
+  EXPECT_LE(sol.objective, model.objective_value(z) + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexRandomized, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sora::solver

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/regularizer.hpp"
+#include "core/single_resource.hpp"
+#include "util/rng.hpp"
+
+namespace sora::core {
+namespace {
+
+using linalg::Vec;
+
+SingleResourceInstance random_instance(util::Rng& rng, std::size_t horizon,
+                                       double reconfig) {
+  SingleResourceInstance inst;
+  inst.capacity = 10.0;
+  inst.reconfig = reconfig;
+  inst.demand.resize(horizon);
+  inst.price.resize(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    inst.demand[t] = rng.uniform(0.1, 9.0);
+    inst.price[t] = rng.uniform(0.2, 2.0);
+  }
+  return inst;
+}
+
+TEST(SingleResource, CostAccounting) {
+  SingleResourceInstance inst;
+  inst.demand = {1.0, 2.0, 1.0};
+  inst.price = {1.0, 1.0, 1.0};
+  inst.reconfig = 10.0;
+  inst.capacity = 5.0;
+  // Plan 2,2,2: alloc 6, reconfig 10*2 once.
+  EXPECT_NEAR(single_total_cost(inst, {2.0, 2.0, 2.0}), 26.0, 1e-12);
+  // Plan 1,2,1: alloc 4, reconfig 10*(1 + 1).
+  EXPECT_NEAR(single_total_cost(inst, {1.0, 2.0, 1.0}), 24.0, 1e-12);
+}
+
+TEST(SingleResource, GreedyFollowsWorkload) {
+  util::Rng rng(1);
+  const auto inst = random_instance(rng, 20, 5.0);
+  const Vec x = single_greedy(inst);
+  for (std::size_t t = 0; t < 20; ++t) EXPECT_DOUBLE_EQ(x[t], inst.demand[t]);
+}
+
+TEST(SingleResource, RoaCoversAndDecays) {
+  util::Rng rng(2);
+  const auto inst = random_instance(rng, 50, 20.0);
+  const double eps = 0.01;
+  const Vec x = single_roa(inst, eps);
+  EXPECT_LE(single_violation(inst, x), 1e-12);
+  double prev = 0.0;
+  for (std::size_t t = 0; t < 50; ++t) {
+    const double decay =
+        decay_point(prev, inst.price[t], inst.reconfig, inst.capacity, eps);
+    // Exactly the max of demand and the decay point (Sec. III-C).
+    EXPECT_NEAR(x[t], std::max(inst.demand[t], std::max(0.0, decay)), 1e-12);
+    prev = x[t];
+  }
+}
+
+TEST(SingleResource, RoaFollowsIncreasingWorkload) {
+  // Monotone increasing workload -> allocation equals the workload (paper's
+  // geometric interpretation, first case).
+  SingleResourceInstance inst;
+  for (int t = 0; t < 10; ++t) {
+    inst.demand.push_back(1.0 + t * 0.5);
+    inst.price.push_back(1.0);
+  }
+  inst.reconfig = 100.0;
+  inst.capacity = 10.0;
+  const Vec x = single_roa(inst, 1e-2);
+  for (std::size_t t = 0; t < 10; ++t) EXPECT_NEAR(x[t], inst.demand[t], 1e-9);
+}
+
+TEST(SingleResource, RoaExponentialDecayOnDrop) {
+  // Workload drops to near zero: allocation follows the decay curve
+  // x_t = (1+C/eps)^(-sum a/b) (x_0 + eps) - eps (paper Sec. III-C).
+  SingleResourceInstance inst;
+  inst.demand = {8.0};
+  inst.price = {1.0};
+  for (int t = 0; t < 12; ++t) {
+    inst.demand.push_back(0.01);
+    inst.price.push_back(1.0);
+  }
+  inst.reconfig = 50.0;
+  inst.capacity = 10.0;
+  const double eps = 0.1;
+  const Vec x = single_roa(inst, eps);
+  EXPECT_NEAR(x[0], 8.0, 1e-12);
+  double expected = 8.0;
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    expected = (expected + eps) *
+                   std::pow(1.0 + inst.capacity / eps, -1.0 / inst.reconfig) -
+               eps;
+    if (expected < inst.demand[t]) break;
+    EXPECT_NEAR(x[t], expected, 1e-9) << "t=" << t;
+    EXPECT_LT(x[t], x[t - 1]);  // strictly decaying
+  }
+}
+
+TEST(SingleResource, OfflineIsOptimalAmongPolicies) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto inst = random_instance(rng, 30, rng.uniform(1.0, 50.0));
+    const double offline = single_total_cost(inst, single_offline(inst));
+    for (const Vec& plan :
+         {single_greedy(inst), single_roa(inst, 0.01), single_roa(inst, 1.0),
+          single_lcp(inst), single_fhc(inst, 4), single_rhc(inst, 4)}) {
+      EXPECT_LE(single_violation(inst, plan), 1e-7);
+      EXPECT_GE(single_total_cost(inst, plan), offline - 1e-6);
+    }
+  }
+}
+
+TEST(SingleResource, RoaWithinTheoreticalRatio) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto inst = random_instance(rng, 40, rng.uniform(5.0, 100.0));
+    const double eps = 0.05;
+    const double roa = single_total_cost(inst, single_roa(inst, eps));
+    const double offline = single_total_cost(inst, single_offline(inst));
+    EXPECT_LE(roa, single_theoretical_ratio(inst, eps) * offline + 1e-6);
+  }
+}
+
+TEST(SingleResource, LcpStaysWithinBand) {
+  util::Rng rng(5);
+  const auto inst = random_instance(rng, 40, 3.0);
+  const Vec x = single_lcp(inst);
+  EXPECT_LE(single_violation(inst, x), 1e-12);
+  // Laziness: x moves only when the band forces it; when demand drops and
+  // price < b, LCP holds its level.
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    if (inst.price[t] < inst.reconfig && inst.demand[t] <= x[t - 1])
+      EXPECT_DOUBLE_EQ(x[t], x[t - 1]);
+  }
+}
+
+TEST(SingleResource, FullWindowFhcEqualsOffline) {
+  util::Rng rng(6);
+  const auto inst = random_instance(rng, 20, 10.0);
+  const double fhc = single_total_cost(inst, single_fhc(inst, 20));
+  const double offline = single_total_cost(inst, single_offline(inst));
+  EXPECT_NEAR(fhc, offline, 1e-6);
+}
+
+TEST(SingleResource, WindowOneFallsBackToGreedy) {
+  util::Rng rng(7);
+  const auto inst = random_instance(rng, 15, 10.0);
+  const Vec fhc = single_fhc(inst, 1);
+  const Vec rhc = single_rhc(inst, 1);
+  const Vec greedy = single_greedy(inst);
+  for (std::size_t t = 0; t < 15; ++t) {
+    EXPECT_NEAR(fhc[t], greedy[t], 1e-9);
+    EXPECT_NEAR(rhc[t], greedy[t], 1e-9);
+  }
+}
+
+// ---- Lemma 2 / Theorem 2: the V-shaped worst case.
+
+SingleResourceInstance v_instance(double b, std::size_t valleys = 1) {
+  SingleResourceInstance inst;
+  // Each valley: descend 10 -> 0.5 over 20 slots, climb back over 20.
+  const std::size_t down = 20, up = 20;
+  inst.demand.push_back(10.0);
+  for (std::size_t v = 0; v < valleys; ++v) {
+    for (std::size_t t = 1; t <= down; ++t)
+      inst.demand.push_back(10.0 + (0.5 - 10.0) * t / down);
+    for (std::size_t t = 1; t <= up; ++t)
+      inst.demand.push_back(0.5 + (10.0 - 0.5) * t / up);
+  }
+  inst.price.assign(inst.demand.size(), 1.0);
+  inst.reconfig = b;
+  inst.capacity = 10.0;
+  return inst;
+}
+
+TEST(SingleResource, Lemma2OfflineHasFlatValley) {
+  const auto inst = v_instance(30.0);
+  const Vec x = single_offline(inst);
+  // The offline optimum descends, then holds a constant level through the
+  // valley, then follows the climb: find the flat stretch around the valley
+  // bottom (slot 20).
+  std::size_t flat = 0;
+  for (std::size_t t = 1; t < x.size(); ++t)
+    if (std::fabs(x[t] - x[t - 1]) < 1e-7 && x[t] > inst.demand[t] + 1e-9)
+      ++flat;
+  EXPECT_GE(flat, 5u);  // a substantial plateau above the workload
+  // And the plateau covers the valley bottom.
+  EXPECT_GT(x[20], inst.demand[20] + 0.5);
+}
+
+TEST(SingleResource, Theorem2GreedyRatioGrowsWithB) {
+  // For a fixed dip the ratio grows with b.
+  double last_ratio = 0.0;
+  for (double b : {1.0, 10.0, 100.0, 1000.0}) {
+    const auto inst = v_instance(b);
+    const double greedy = single_total_cost(inst, single_greedy(inst));
+    const double offline = single_total_cost(inst, single_offline(inst));
+    const double ratio = greedy / offline;
+    EXPECT_GT(ratio, last_ratio);
+    last_ratio = ratio;
+  }
+  EXPECT_GT(last_ratio, 1.5);
+}
+
+TEST(SingleResource, Theorem2GreedyRatioGrowsWithValleys) {
+  // Repeating the dip makes the greedy ratio grow without bound: greedy
+  // re-buys the capacity after every valley while the offline optimum holds
+  // level and pays the ramp once.
+  const double b = 5000.0;
+  double last_ratio = 0.0;
+  for (std::size_t valleys : {1u, 2u, 4u, 8u}) {
+    const auto inst = v_instance(b, valleys);
+    const double greedy = single_total_cost(inst, single_greedy(inst));
+    const double offline = single_total_cost(inst, single_offline(inst));
+    const double ratio = greedy / offline;
+    EXPECT_GT(ratio, last_ratio);
+    last_ratio = ratio;
+  }
+  EXPECT_GT(last_ratio, 4.0);
+}
+
+TEST(SingleResource, Theorem3FhcRhcSufferOnVShape) {
+  // With a window shorter than the ramp, FHC/RHC must follow the decline and
+  // re-buy at the climb, while offline holds level; their ratio grows with b.
+  const double b = 500.0;
+  const auto inst = v_instance(b);
+  const double offline = single_total_cost(inst, single_offline(inst));
+  for (std::size_t w : {2u, 4u}) {
+    const double fhc = single_total_cost(inst, single_fhc(inst, w));
+    const double rhc = single_total_cost(inst, single_rhc(inst, w));
+    EXPECT_GT(fhc, 1.5 * offline);
+    EXPECT_GT(rhc, 1.5 * offline);
+  }
+}
+
+TEST(SingleResource, RoaBeatsGreedyOnVShapeWithLargeB) {
+  const auto inst = v_instance(300.0);
+  const double greedy = single_total_cost(inst, single_greedy(inst));
+  const double roa = single_total_cost(inst, single_roa(inst, 0.01));
+  EXPECT_LT(roa, greedy);
+}
+
+// Parameterized sweep: ROA never violates its theoretical ratio across many
+// random (workload, price, b) draws.
+class SingleRoaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleRoaSweep, CompetitiveBoundHolds) {
+  util::Rng rng(100 + GetParam());
+  const auto inst = random_instance(rng, 25, rng.uniform(2.0, 200.0));
+  for (double eps : {0.01, 0.1, 1.0}) {
+    const double roa = single_total_cost(inst, single_roa(inst, eps));
+    const double offline = single_total_cost(inst, single_offline(inst));
+    EXPECT_LE(roa,
+              single_theoretical_ratio(inst, eps) * offline * (1.0 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SingleRoaSweep, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace sora::core

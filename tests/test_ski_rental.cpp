@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/ski_rental.hpp"
+
+namespace sora::core {
+namespace {
+
+TEST(SkiRental, CostAccounting) {
+  SkiRentalInstance inst;
+  inst.rent = {1.0, 2.0, 3.0};
+  inst.buy = 4.0;
+  inst.ski_days = 3;
+  EXPECT_DOUBLE_EQ(ski_cost(inst, 0), 4.0);        // buy immediately
+  EXPECT_DOUBLE_EQ(ski_cost(inst, 1), 1.0 + 4.0);  // rent once, then buy
+  EXPECT_DOUBLE_EQ(ski_cost(inst, 3), 6.0);        // never buy
+  EXPECT_DOUBLE_EQ(ski_offline(inst), 4.0);
+}
+
+TEST(SkiRental, OfflinePicksRentWhenSeasonShort) {
+  SkiRentalInstance inst;
+  inst.rent = {1.0, 1.0, 1.0, 1.0};
+  inst.buy = 10.0;
+  inst.ski_days = 3;
+  EXPECT_DOUBLE_EQ(ski_offline(inst), 3.0);
+}
+
+TEST(SkiRental, BreakEvenSlotClassic) {
+  SkiRentalInstance inst;
+  inst.rent.assign(20, 1.0);
+  inst.buy = 5.0;
+  inst.ski_days = 20;
+  EXPECT_EQ(ski_break_even_slot(inst), 5u);
+}
+
+TEST(SkiRental, ClassicWorstCaseApproachesTwo) {
+  double prev = 0.0;
+  for (const double buy : {2.0, 5.0, 20.0, 100.0}) {
+    const double ratio = ski_break_even_ratio(classic_worst_case(buy));
+    EXPECT_LE(ratio, 2.0 + 1e-12);
+    EXPECT_GE(ratio, prev);  // approaches 2 from below as buy grows
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 1.9);
+}
+
+TEST(SkiRental, TimeVaryingRatioUnbounded) {
+  // The paper's remark: with unbounded rental prices the accumulation rule's
+  // ratio grows without bound — the classic 2-competitiveness relies on
+  // constant rents.
+  double prev = 0.0;
+  for (const double spike : {10.0, 100.0, 1000.0}) {
+    const double ratio =
+        ski_break_even_ratio(time_varying_worst_case(5.0, spike));
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 50.0);
+}
+
+TEST(SkiRental, BreakEvenBoundedOnConstantRents) {
+  // The accumulation rule buys at the first slot with paid rent >= buy,
+  // i.e. slot ceil(buy) under unit rents; its ratio is at most
+  // (ceil(buy) + buy) / buy <= 2 + 1/buy (exactly 2 for integer buy).
+  for (const double buy : {1.5, 3.0, 7.0}) {
+    for (std::size_t season : {1u, 2u, 5u, 30u}) {
+      SkiRentalInstance inst;
+      inst.rent.assign(std::max<std::size_t>(season, 32), 1.0);
+      inst.ski_days = season;
+      inst.buy = buy;
+      EXPECT_LE(ski_break_even_ratio(inst), 2.0 + 1.0 / buy + 1e-12)
+          << "buy=" << buy << " season=" << season;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sora::core

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sora::util {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  EXPECT_THROW(SORA_CHECK(1 == 2), CheckError);
+  try {
+    SORA_CHECK_MSG(false, "custom message");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 1.5);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(9);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(123);
+  Rng child = parent.split();
+  // The child stream must not replay the parent stream.
+  Rng parent_copy(123);
+  parent_copy.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.next_u64() == parent.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Csv, RoundTripQuoting) {
+  CsvWriter w({"name", "value"});
+  w.add_row({"plain", "1"});
+  w.add_row({"with,comma", "2"});
+  w.add_row({"with\"quote", "3"});
+  std::ostringstream os;
+  w.write(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(parse_csv_line(line), (std::vector<std::string>{"name", "value"}));
+  std::getline(is, line);
+  std::getline(is, line);
+  EXPECT_EQ(parse_csv_line(line),
+            (std::vector<std::string>{"with,comma", "2"}));
+  std::getline(is, line);
+  EXPECT_EQ(parse_csv_line(line),
+            (std::vector<std::string>{"with\"quote", "3"}));
+}
+
+TEST(Csv, NumericRowFormatting) {
+  CsvWriter w({"a", "b"});
+  w.add_numeric_row({1.5, 2.25});
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_NE(os.str().find("1.5,2.25"), std::string::npos);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"metric", "v"});
+  t.add_row({"x", "1"});
+  t.add_numeric_row("longer-name", {3.14159}, "%.2f");
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    parallel_for(0, 8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Options, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--name", "hello", "pos1",
+                        "--flag"};
+  const auto opts = Options::parse(6, argv, {"alpha", "name", "flag"});
+  EXPECT_DOUBLE_EQ(opts.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(opts.get_string("name", ""), "hello");
+  EXPECT_TRUE(opts.get_bool("flag", false));
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "pos1");
+}
+
+TEST(Options, UnknownFlagThrows) {
+  const char* argv[] = {"prog", "--mystery=1"};
+  EXPECT_THROW(Options::parse(2, argv, {"known"}), CheckError);
+}
+
+TEST(Options, Defaults) {
+  const char* argv[] = {"prog"};
+  const auto opts = Options::parse(1, argv, {"a"});
+  EXPECT_EQ(opts.get_int("a", 42), 42);
+  EXPECT_EQ(opts.get_string("a", "dflt"), "dflt");
+  EXPECT_FALSE(opts.has("a"));
+}
+
+}  // namespace
+}  // namespace sora::util

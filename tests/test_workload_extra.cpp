@@ -1,0 +1,86 @@
+// Extra workload generators and trace statistics.
+#include <gtest/gtest.h>
+
+#include "cloudnet/workload.hpp"
+#include "core/single_resource.hpp"
+#include "util/rng.hpp"
+
+namespace sora::cloudnet {
+namespace {
+
+TEST(WorkloadExtra, StepTraceShape) {
+  const auto trace = step_trace(5.0, 1.0, 3, 10);
+  ASSERT_EQ(trace.hours(), 10u);
+  for (std::size_t t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(trace.demand[t], 5.0);
+  for (std::size_t t = 3; t < 10; ++t) EXPECT_DOUBLE_EQ(trace.demand[t], 1.0);
+}
+
+TEST(WorkloadExtra, SawtoothOscillates) {
+  const auto trace = sawtooth_trace(4.0, 1.0, 8, 32);
+  ASSERT_EQ(trace.hours(), 32u);
+  EXPECT_DOUBLE_EQ(trace.demand[0], 4.0);  // starts at the crest
+  EXPECT_DOUBLE_EQ(trace.demand[4], 1.0);  // trough at half period
+  EXPECT_DOUBLE_EQ(trace.demand[8], 4.0);  // periodic
+  double lo = 1e9, hi = 0.0;
+  for (double v : trace.demand) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 4.0);
+}
+
+TEST(WorkloadExtra, StatsOnKnownTrace) {
+  WorkloadTrace trace;
+  trace.demand = {1.0, 2.0, 4.0, 3.0, 2.0, 1.0};
+  const TraceStats s = trace_stats(trace);
+  EXPECT_DOUBLE_EQ(s.peak, 4.0);
+  EXPECT_NEAR(s.mean, 13.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.burstiness, 4.0 / (13.0 / 6.0));
+  EXPECT_EQ(s.max_ramp_down, 3u);  // 4 -> 3 -> 2 -> 1
+}
+
+TEST(WorkloadExtra, DiurnalTraceHasHighLag24Autocorr) {
+  util::Rng rng(3);
+  const auto wiki = wikipedia_like(480, rng);
+  EXPECT_GT(trace_stats(wiki).lag24_autocorr, 0.5);
+  // A sawtooth with period 10 has no 24h structure.
+  const auto saw = sawtooth_trace(2.0, 1.0, 10, 480);
+  EXPECT_LT(trace_stats(saw).lag24_autocorr,
+            trace_stats(wiki).lag24_autocorr);
+}
+
+TEST(WorkloadExtra, SawtoothStressesGreedyLikeRepeatedValleys) {
+  // On a sawtooth, greedy re-buys every period while the offline optimum
+  // holds level: the single-resource ratio grows with the period count.
+  const auto trace = sawtooth_trace(8.0, 1.0, 12, 96);
+  core::SingleResourceInstance inst;
+  inst.demand = trace.demand;
+  inst.price.assign(trace.hours(), 1.0);
+  inst.reconfig = 500.0;
+  inst.capacity = 8.0;
+  const double greedy =
+      core::single_total_cost(inst, core::single_greedy(inst));
+  const double offline =
+      core::single_total_cost(inst, core::single_offline(inst));
+  EXPECT_GT(greedy / offline, 3.0);
+  const double roa =
+      core::single_total_cost(inst, core::single_roa(inst, 0.01));
+  EXPECT_LT(roa / offline, greedy / offline);
+}
+
+TEST(WorkloadExtra, StepGeneratesExpectedDecayAblation) {
+  const auto trace = step_trace(8.0, 0.05, 5, 50);
+  core::SingleResourceInstance inst;
+  inst.demand = trace.demand;
+  inst.price.assign(trace.hours(), 1.0);
+  inst.reconfig = 100.0;
+  inst.capacity = 10.0;
+  // Larger eps -> slower decay -> allocation stays higher after the step.
+  const auto fast = core::single_roa(inst, 1e-3);
+  const auto slow = core::single_roa(inst, 10.0);
+  EXPECT_LT(fast[20], slow[20]);
+}
+
+}  // namespace
+}  // namespace sora::cloudnet
