@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_noisy.dir/bench_fig9_noisy.cpp.o"
+  "CMakeFiles/bench_fig9_noisy.dir/bench_fig9_noisy.cpp.o.d"
+  "bench_fig9_noisy"
+  "bench_fig9_noisy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_noisy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

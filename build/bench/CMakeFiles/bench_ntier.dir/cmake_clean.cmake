@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntier.dir/bench_ntier.cpp.o"
+  "CMakeFiles/bench_ntier.dir/bench_ntier.cpp.o.d"
+  "bench_ntier"
+  "bench_ntier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

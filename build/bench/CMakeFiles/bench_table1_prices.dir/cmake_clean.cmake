@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_prices.dir/bench_table1_prices.cpp.o"
+  "CMakeFiles/bench_table1_prices.dir/bench_table1_prices.cpp.o.d"
+  "bench_table1_prices"
+  "bench_table1_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_crowd_prediction.dir/flash_crowd_prediction.cpp.o"
+  "CMakeFiles/flash_crowd_prediction.dir/flash_crowd_prediction.cpp.o.d"
+  "flash_crowd_prediction"
+  "flash_crowd_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_crowd_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntier_chain.dir/ntier_chain.cpp.o"
+  "CMakeFiles/ntier_chain.dir/ntier_chain.cpp.o.d"
+  "ntier_chain"
+  "ntier_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntier_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikipedia_week.dir/wikipedia_week.cpp.o"
+  "CMakeFiles/wikipedia_week.dir/wikipedia_week.cpp.o.d"
+  "wikipedia_week"
+  "wikipedia_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikipedia_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

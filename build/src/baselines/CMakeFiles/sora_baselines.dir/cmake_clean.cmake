@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_baselines.dir/lcp_m.cpp.o"
+  "CMakeFiles/sora_baselines.dir/lcp_m.cpp.o.d"
+  "CMakeFiles/sora_baselines.dir/offline.cpp.o"
+  "CMakeFiles/sora_baselines.dir/offline.cpp.o.d"
+  "CMakeFiles/sora_baselines.dir/oneshot.cpp.o"
+  "CMakeFiles/sora_baselines.dir/oneshot.cpp.o.d"
+  "libsora_baselines.a"
+  "libsora_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloudnet/geo.cpp" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/geo.cpp.o" "gcc" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/geo.cpp.o.d"
+  "/root/repo/src/cloudnet/instance.cpp" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/instance.cpp.o" "gcc" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/instance.cpp.o.d"
+  "/root/repo/src/cloudnet/pricing.cpp" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/pricing.cpp.o" "gcc" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/pricing.cpp.o.d"
+  "/root/repo/src/cloudnet/sites_data.cpp" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/sites_data.cpp.o" "gcc" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/sites_data.cpp.o.d"
+  "/root/repo/src/cloudnet/workload.cpp" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/workload.cpp.o" "gcc" "src/cloudnet/CMakeFiles/sora_cloudnet.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sora_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_cloudnet.dir/geo.cpp.o"
+  "CMakeFiles/sora_cloudnet.dir/geo.cpp.o.d"
+  "CMakeFiles/sora_cloudnet.dir/instance.cpp.o"
+  "CMakeFiles/sora_cloudnet.dir/instance.cpp.o.d"
+  "CMakeFiles/sora_cloudnet.dir/pricing.cpp.o"
+  "CMakeFiles/sora_cloudnet.dir/pricing.cpp.o.d"
+  "CMakeFiles/sora_cloudnet.dir/sites_data.cpp.o"
+  "CMakeFiles/sora_cloudnet.dir/sites_data.cpp.o.d"
+  "CMakeFiles/sora_cloudnet.dir/workload.cpp.o"
+  "CMakeFiles/sora_cloudnet.dir/workload.cpp.o.d"
+  "libsora_cloudnet.a"
+  "libsora_cloudnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_cloudnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/certificate.cpp" "src/core/CMakeFiles/sora_core.dir/certificate.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/certificate.cpp.o.d"
+  "/root/repo/src/core/competitive.cpp" "src/core/CMakeFiles/sora_core.dir/competitive.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/competitive.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/sora_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/normalization.cpp" "src/core/CMakeFiles/sora_core.dir/normalization.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/normalization.cpp.o.d"
+  "/root/repo/src/core/ntier.cpp" "src/core/CMakeFiles/sora_core.dir/ntier.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/ntier.cpp.o.d"
+  "/root/repo/src/core/p1_model.cpp" "src/core/CMakeFiles/sora_core.dir/p1_model.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/p1_model.cpp.o.d"
+  "/root/repo/src/core/p2_subproblem.cpp" "src/core/CMakeFiles/sora_core.dir/p2_subproblem.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/p2_subproblem.cpp.o.d"
+  "/root/repo/src/core/predictive.cpp" "src/core/CMakeFiles/sora_core.dir/predictive.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/predictive.cpp.o.d"
+  "/root/repo/src/core/regularizer.cpp" "src/core/CMakeFiles/sora_core.dir/regularizer.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/regularizer.cpp.o.d"
+  "/root/repo/src/core/roa.cpp" "src/core/CMakeFiles/sora_core.dir/roa.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/roa.cpp.o.d"
+  "/root/repo/src/core/single_resource.cpp" "src/core/CMakeFiles/sora_core.dir/single_resource.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/single_resource.cpp.o.d"
+  "/root/repo/src/core/ski_rental.cpp" "src/core/CMakeFiles/sora_core.dir/ski_rental.cpp.o" "gcc" "src/core/CMakeFiles/sora_core.dir/ski_rental.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudnet/CMakeFiles/sora_cloudnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sora_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sora_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_core.dir/certificate.cpp.o"
+  "CMakeFiles/sora_core.dir/certificate.cpp.o.d"
+  "CMakeFiles/sora_core.dir/competitive.cpp.o"
+  "CMakeFiles/sora_core.dir/competitive.cpp.o.d"
+  "CMakeFiles/sora_core.dir/cost.cpp.o"
+  "CMakeFiles/sora_core.dir/cost.cpp.o.d"
+  "CMakeFiles/sora_core.dir/normalization.cpp.o"
+  "CMakeFiles/sora_core.dir/normalization.cpp.o.d"
+  "CMakeFiles/sora_core.dir/ntier.cpp.o"
+  "CMakeFiles/sora_core.dir/ntier.cpp.o.d"
+  "CMakeFiles/sora_core.dir/p1_model.cpp.o"
+  "CMakeFiles/sora_core.dir/p1_model.cpp.o.d"
+  "CMakeFiles/sora_core.dir/p2_subproblem.cpp.o"
+  "CMakeFiles/sora_core.dir/p2_subproblem.cpp.o.d"
+  "CMakeFiles/sora_core.dir/predictive.cpp.o"
+  "CMakeFiles/sora_core.dir/predictive.cpp.o.d"
+  "CMakeFiles/sora_core.dir/regularizer.cpp.o"
+  "CMakeFiles/sora_core.dir/regularizer.cpp.o.d"
+  "CMakeFiles/sora_core.dir/roa.cpp.o"
+  "CMakeFiles/sora_core.dir/roa.cpp.o.d"
+  "CMakeFiles/sora_core.dir/single_resource.cpp.o"
+  "CMakeFiles/sora_core.dir/single_resource.cpp.o.d"
+  "CMakeFiles/sora_core.dir/ski_rental.cpp.o"
+  "CMakeFiles/sora_core.dir/ski_rental.cpp.o.d"
+  "libsora_core.a"
+  "libsora_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/montecarlo.cpp" "src/eval/CMakeFiles/sora_eval.dir/montecarlo.cpp.o" "gcc" "src/eval/CMakeFiles/sora_eval.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/eval/replay.cpp" "src/eval/CMakeFiles/sora_eval.dir/replay.cpp.o" "gcc" "src/eval/CMakeFiles/sora_eval.dir/replay.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/sora_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/sora_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/scenarios.cpp" "src/eval/CMakeFiles/sora_eval.dir/scenarios.cpp.o" "gcc" "src/eval/CMakeFiles/sora_eval.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/sora_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudnet/CMakeFiles/sora_cloudnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sora_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sora_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

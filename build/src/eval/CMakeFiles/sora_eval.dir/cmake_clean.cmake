@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_eval.dir/montecarlo.cpp.o"
+  "CMakeFiles/sora_eval.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/sora_eval.dir/replay.cpp.o"
+  "CMakeFiles/sora_eval.dir/replay.cpp.o.d"
+  "CMakeFiles/sora_eval.dir/report.cpp.o"
+  "CMakeFiles/sora_eval.dir/report.cpp.o.d"
+  "CMakeFiles/sora_eval.dir/scenarios.cpp.o"
+  "CMakeFiles/sora_eval.dir/scenarios.cpp.o.d"
+  "libsora_eval.a"
+  "libsora_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/sora_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/sora_linalg.dir/lu.cpp.o"
+  "CMakeFiles/sora_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/sora_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/sora_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/sora_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/sora_linalg.dir/sparse.cpp.o.d"
+  "libsora_linalg.a"
+  "libsora_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/ipm.cpp" "src/solver/CMakeFiles/sora_solver.dir/ipm.cpp.o" "gcc" "src/solver/CMakeFiles/sora_solver.dir/ipm.cpp.o.d"
+  "/root/repo/src/solver/lp.cpp" "src/solver/CMakeFiles/sora_solver.dir/lp.cpp.o" "gcc" "src/solver/CMakeFiles/sora_solver.dir/lp.cpp.o.d"
+  "/root/repo/src/solver/lp_solve.cpp" "src/solver/CMakeFiles/sora_solver.dir/lp_solve.cpp.o" "gcc" "src/solver/CMakeFiles/sora_solver.dir/lp_solve.cpp.o.d"
+  "/root/repo/src/solver/pdhg.cpp" "src/solver/CMakeFiles/sora_solver.dir/pdhg.cpp.o" "gcc" "src/solver/CMakeFiles/sora_solver.dir/pdhg.cpp.o.d"
+  "/root/repo/src/solver/presolve.cpp" "src/solver/CMakeFiles/sora_solver.dir/presolve.cpp.o" "gcc" "src/solver/CMakeFiles/sora_solver.dir/presolve.cpp.o.d"
+  "/root/repo/src/solver/simplex.cpp" "src/solver/CMakeFiles/sora_solver.dir/simplex.cpp.o" "gcc" "src/solver/CMakeFiles/sora_solver.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sora_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_solver.dir/ipm.cpp.o"
+  "CMakeFiles/sora_solver.dir/ipm.cpp.o.d"
+  "CMakeFiles/sora_solver.dir/lp.cpp.o"
+  "CMakeFiles/sora_solver.dir/lp.cpp.o.d"
+  "CMakeFiles/sora_solver.dir/lp_solve.cpp.o"
+  "CMakeFiles/sora_solver.dir/lp_solve.cpp.o.d"
+  "CMakeFiles/sora_solver.dir/pdhg.cpp.o"
+  "CMakeFiles/sora_solver.dir/pdhg.cpp.o.d"
+  "CMakeFiles/sora_solver.dir/presolve.cpp.o"
+  "CMakeFiles/sora_solver.dir/presolve.cpp.o.d"
+  "CMakeFiles/sora_solver.dir/simplex.cpp.o"
+  "CMakeFiles/sora_solver.dir/simplex.cpp.o.d"
+  "libsora_solver.a"
+  "libsora_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

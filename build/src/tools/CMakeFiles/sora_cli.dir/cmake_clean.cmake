@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_cli.dir/sora_cli.cpp.o"
+  "CMakeFiles/sora_cli.dir/sora_cli.cpp.o.d"
+  "sora_cli"
+  "sora_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

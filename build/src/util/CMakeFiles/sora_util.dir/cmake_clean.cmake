@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_util.dir/csv.cpp.o"
+  "CMakeFiles/sora_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sora_util.dir/logging.cpp.o"
+  "CMakeFiles/sora_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sora_util.dir/options.cpp.o"
+  "CMakeFiles/sora_util.dir/options.cpp.o.d"
+  "CMakeFiles/sora_util.dir/rng.cpp.o"
+  "CMakeFiles/sora_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sora_util.dir/table.cpp.o"
+  "CMakeFiles/sora_util.dir/table.cpp.o.d"
+  "CMakeFiles/sora_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sora_util.dir/thread_pool.cpp.o.d"
+  "libsora_util.a"
+  "libsora_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloudnet.dir/test_cloudnet.cpp.o"
+  "CMakeFiles/test_cloudnet.dir/test_cloudnet.cpp.o.d"
+  "test_cloudnet"
+  "test_cloudnet.pdb"
+  "test_cloudnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloudnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

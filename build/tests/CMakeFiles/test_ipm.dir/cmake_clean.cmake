@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipm.dir/test_ipm.cpp.o"
+  "CMakeFiles/test_ipm.dir/test_ipm.cpp.o.d"
+  "test_ipm"
+  "test_ipm.pdb"
+  "test_ipm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntier.dir/test_ntier.cpp.o"
+  "CMakeFiles/test_ntier.dir/test_ntier.cpp.o.d"
+  "test_ntier"
+  "test_ntier.pdb"
+  "test_ntier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntier_predictive.dir/test_ntier_predictive.cpp.o"
+  "CMakeFiles/test_ntier_predictive.dir/test_ntier_predictive.cpp.o.d"
+  "test_ntier_predictive"
+  "test_ntier_predictive.pdb"
+  "test_ntier_predictive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntier_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_sweep.dir/test_oracle_sweep.cpp.o"
+  "CMakeFiles/test_oracle_sweep.dir/test_oracle_sweep.cpp.o.d"
+  "test_oracle_sweep"
+  "test_oracle_sweep.pdb"
+  "test_oracle_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdhg.dir/test_pdhg.cpp.o"
+  "CMakeFiles/test_pdhg.dir/test_pdhg.cpp.o.d"
+  "test_pdhg"
+  "test_pdhg.pdb"
+  "test_pdhg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdhg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

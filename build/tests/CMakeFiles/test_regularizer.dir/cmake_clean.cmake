@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regularizer.dir/test_regularizer.cpp.o"
+  "CMakeFiles/test_regularizer.dir/test_regularizer.cpp.o.d"
+  "test_regularizer"
+  "test_regularizer.pdb"
+  "test_regularizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regularizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

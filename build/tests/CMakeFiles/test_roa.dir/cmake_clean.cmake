@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roa.dir/test_roa.cpp.o"
+  "CMakeFiles/test_roa.dir/test_roa.cpp.o.d"
+  "test_roa"
+  "test_roa.pdb"
+  "test_roa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_resource.dir/test_single_resource.cpp.o"
+  "CMakeFiles/test_single_resource.dir/test_single_resource.cpp.o.d"
+  "test_single_resource"
+  "test_single_resource.pdb"
+  "test_single_resource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ski_rental.dir/test_ski_rental.cpp.o"
+  "CMakeFiles/test_ski_rental.dir/test_ski_rental.cpp.o.d"
+  "test_ski_rental"
+  "test_ski_rental.pdb"
+  "test_ski_rental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ski_rental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tier1.dir/test_tier1.cpp.o"
+  "CMakeFiles/test_tier1.dir/test_tier1.cpp.o.d"
+  "test_tier1"
+  "test_tier1.pdb"
+  "test_tier1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tier1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_simplex[1]_include.cmake")
+include("/root/repo/build/tests/test_pdhg[1]_include.cmake")
+include("/root/repo/build/tests/test_ipm[1]_include.cmake")
+include("/root/repo/build/tests/test_cloudnet[1]_include.cmake")
+include("/root/repo/build/tests/test_regularizer[1]_include.cmake")
+include("/root/repo/build/tests/test_single_resource[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_roa[1]_include.cmake")
+include("/root/repo/build/tests/test_predictive[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_ntier[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_tier1[1]_include.cmake")
+include("/root/repo/build/tests/test_certificate[1]_include.cmake")
+include("/root/repo/build/tests/test_ski_rental[1]_include.cmake")
+include("/root/repo/build/tests/test_presolve[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_normalization[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_ntier_predictive[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle_sweep[1]_include.cmake")
