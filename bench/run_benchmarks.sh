@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build and run the solver micro-benchmarks, writing BENCH_solver.json at the
+# repo root. Extra arguments are forwarded to the benchmark binary, e.g.
+#
+#   bench/run_benchmarks.sh --benchmark_filter='BM_P2Solve.*'
+#
+# Set SORA_NATIVE=ON in the environment to benchmark with -march=native.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-bench}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSORA_NATIVE="${SORA_NATIVE:-OFF}"
+cmake --build "$BUILD_DIR" --target bench_solver_micro -j "$(nproc)"
+
+"$BUILD_DIR/bench/bench_solver_micro" \
+  --benchmark_format=json \
+  --benchmark_out="$ROOT/BENCH_solver.json" \
+  --benchmark_out_format=json \
+  "$@"

@@ -437,13 +437,35 @@ class NTierP2Objective : public solver::ConvexObjective {
 
   Matrix hessian(const Vec& z) const override {
     Matrix h(size(), size(), 0.0);
+    hessian_into(z, h);
+    return h;
+  }
+
+  void gradient_into(const Vec& z, Vec& g) const override {
+    std::fill(g.begin(), g.end(), 0.0);
+    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
+      g[xvar(v)] = price_row_[v] +
+                   node_weight_[v] * entropic_gradient(
+                                         z[xvar(v)], prev_.node[v],
+                                         options_.eps);
+    for (std::size_t l = 0; l < inst_.num_links(); ++l)
+      g[yvar(l)] = inst_.link_price[l] +
+                   link_weight_[l] * entropic_gradient(
+                                         z[yvar(l)], prev_.link[l],
+                                         options_.eps);
+  }
+
+  void hessian_into(const Vec& z, Matrix& h) const override {
+    for (std::size_t r = 0; r < h.rows(); ++r) {
+      double* row = h.row_ptr(r);
+      std::fill(row, row + h.cols(), 0.0);
+    }
     for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
       h(xvar(v), xvar(v)) =
           node_weight_[v] * entropic_hessian(z[xvar(v)], options_.eps);
     for (std::size_t l = 0; l < inst_.num_links(); ++l)
       h(yvar(l), yvar(l)) =
           link_weight_[l] * entropic_hessian(z[yvar(l)], options_.eps);
-    return h;
   }
 
  private:
@@ -531,140 +553,172 @@ double ntier_slot_violation(const NTierInstance& inst, std::size_t t,
 
 namespace {
 
-// One regularized slot subproblem P2-N(t): returns the slot decision.
-NTierAllocation solve_ntier_p2_slot(const NTierInstance& inst,
-                                    const InputsView& view, std::size_t t,
-                                    const NTierAllocation& prev,
-                                    const NTierRoaOptions& options) {
-  const FlowIndex fidx(inst);
-  const Vec demand_row = view.demand_row(t);
-  Vec price_row(inst.num_nodes(), 0.0);
-  for (std::size_t v = 0; v < inst.num_nodes(); ++v)
-    price_row[v] = view.price(t, v);
-  {
-    const NTierP2Objective objective(inst, price_row, prev, options,
-                                     fidx.count);
-    const std::size_t n = objective.size();
+// Per-run solver for the regularized slot subproblems P2-N(t). The routing
+// polyhedron's structure depends only on the network, so the CSR constraint
+// matrix is assembled ONCE; each slot patches the coverage right-hand sides
+// and re-runs the sparse barrier IPM with reused scratch buffers.
+class NTierSlotSolver {
+ public:
+  NTierSlotSolver(const NTierInstance& inst, const NTierRoaOptions& options)
+      : inst_(inst), options_(options), fidx_(inst) {
+    build_constraints();
+  }
 
-    // Constraint polyhedron via an LpBuilder (reusing the routing rows),
-    // then converted to dense G z <= h for the barrier solver.
-    // Zero-capacity resources (tier-0 nodes, unreachable links) have an
-    // empty strict interior at [0, 0]; give them a tiny slack bound for the
-    // barrier and zero them on extraction below.
-    constexpr double kTinyBound = 1e-4;
-    LpBuilder b;
-    for (std::size_t f = 0; f < fidx.count; ++f)
-      b.add_variable(0.0, kInf, 0.0);
-    for (std::size_t v = 0; v < inst.num_nodes(); ++v)
-      b.add_variable(0.0, std::max(inst.node_capacity[v], kTinyBound), 0.0);
-    for (std::size_t l = 0; l < inst.num_links(); ++l)
-      b.add_variable(0.0, std::max(inst.link_capacity[l], kTinyBound), 0.0);
-    add_routing_rows(
-        inst, demand_row, b, fidx,
-        [&fidx](std::size_t j, std::size_t pos) { return fidx.offset[j][pos]; },
-        [&](std::size_t v) { return objective.xvar(v); },
-        [&](std::size_t l) { return objective.yvar(l); });
-    const solver::LpModel cons = b.build();
+  NTierAllocation solve(const InputsView& view, std::size_t t,
+                        const NTierAllocation& prev) {
+    const Vec demand_row = view.demand_row(t);
+    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
+      price_row_[v] = view.price(t, v);
+    for (std::size_t j = 0; j < inst_.num_demands(); ++j)
+      h_[coverage_h_[j]] = -demand_row[j];
 
-    // Dense G z <= h: rows are (negated) >= rows, <= rows, and the finite
-    // variable bounds.
-    std::vector<std::pair<Vec, double>> g_rows;
-    const auto& offs = cons.a.row_offsets();
-    const auto& cidx = cons.a.col_indices();
-    const auto& cval = cons.a.values();
-    for (std::size_t r = 0; r < cons.num_rows(); ++r) {
-      Vec row(n, 0.0);
-      for (std::size_t kk = offs[r]; kk < offs[r + 1]; ++kk)
-        row[cidx[kk]] = cval[kk];
-      if (std::isfinite(cons.row_lower[r])) {  // a z >= l  ->  -a z <= -l
-        Vec neg(n, 0.0);
-        for (std::size_t c2 = 0; c2 < n; ++c2) neg[c2] = -row[c2];
-        g_rows.push_back({std::move(neg), -cons.row_lower[r]});
-      }
-      if (std::isfinite(cons.row_upper[r]))
-        g_rows.push_back({row, cons.row_upper[r]});
-    }
-    for (std::size_t c2 = 0; c2 < n; ++c2) {
-      if (std::isfinite(cons.var_lower[c2])) {
-        Vec row(n, 0.0);
-        row[c2] = -1.0;
-        g_rows.push_back({std::move(row), -cons.var_lower[c2]});
-      }
-      if (std::isfinite(cons.var_upper[c2])) {
-        Vec row(n, 0.0);
-        row[c2] = 1.0;
-        g_rows.push_back({std::move(row), cons.var_upper[c2]});
-      }
-    }
-    Matrix g(g_rows.size(), n, 0.0);
-    Vec h(g_rows.size(), 0.0);
-    for (std::size_t r = 0; r < g_rows.size(); ++r) {
-      for (std::size_t c2 = 0; c2 < n; ++c2) g(r, c2) = g_rows[r].first[c2];
-      h[r] = g_rows[r].second;
-    }
+    const NTierP2Objective objective(inst_, price_row_, prev, options_,
+                                     fidx_.count);
 
     // Strictly feasible start: even spread with tier-increasing inflation so
     // every "out >= in" row is strictly slack.
-    Vec z(n, 1e-7);
-    for (std::size_t j = 0; j < inst.num_demands(); ++j) {
+    Vec z(num_vars(), 1e-7);
+    for (std::size_t j = 0; j < inst_.num_demands(); ++j) {
       // Push commodity j's demand through its admissible links evenly,
       // inflating by 1% per tier.
-      Vec holding(inst.num_nodes(), 0.0);
-      holding[inst.node_key(0, j)] = demand_row[j] * 1.01 + 1e-6;
-      for (std::size_t tier = 0; tier + 1 < inst.num_tiers; ++tier) {
-        for (std::size_t v = 0; v < inst.tier_sizes[tier]; ++v) {
-          const std::size_t key = inst.node_key(tier, v);
+      Vec holding(inst_.num_nodes(), 0.0);
+      holding[inst_.node_key(0, j)] = demand_row[j] * 1.01 + 1e-6;
+      for (std::size_t tier = 0; tier + 1 < inst_.num_tiers; ++tier) {
+        for (std::size_t v = 0; v < inst_.tier_sizes[tier]; ++v) {
+          const std::size_t key = inst_.node_key(tier, v);
           if (holding[key] <= 0.0) continue;
           // Out-links admissible for j at this node.
           std::vector<std::size_t> outs;
-          for (std::size_t pos = 0; pos < fidx.link_of[j].size(); ++pos) {
-            const auto& link = inst.links[fidx.link_of[j][pos]];
+          for (std::size_t pos = 0; pos < fidx_.link_of[j].size(); ++pos) {
+            const auto& link = inst_.links[fidx_.link_of[j][pos]];
             if (link.tier == tier && link.from == v) outs.push_back(pos);
           }
           if (outs.empty()) continue;
           const double share =
               holding[key] * 1.01 / static_cast<double>(outs.size());
           for (const std::size_t pos : outs) {
-            z[fidx.offset[j][pos]] += share;
-            const auto& link = inst.links[fidx.link_of[j][pos]];
-            holding[inst.node_key(link.tier + 1, link.to)] += share;
+            z[fidx_.offset[j][pos]] += share;
+            const auto& link = inst_.links[fidx_.link_of[j][pos]];
+            holding[inst_.node_key(link.tier + 1, link.to)] += share;
           }
           holding[key] = 0.0;
         }
       }
     }
     // Resources strictly above the implied flows.
-    for (std::size_t v = 0; v < inst.num_nodes(); ++v) z[objective.xvar(v)] = 0.0;
-    for (std::size_t l = 0; l < inst.num_links(); ++l) z[objective.yvar(l)] = 0.0;
-    for (std::size_t j = 0; j < inst.num_demands(); ++j)
-      for (std::size_t pos = 0; pos < fidx.link_of[j].size(); ++pos) {
-        const double f = z[fidx.offset[j][pos]];
-        const auto& link = inst.links[fidx.link_of[j][pos]];
-        z[objective.yvar(fidx.link_of[j][pos])] += f;
-        z[objective.xvar(inst.node_key(link.tier + 1, link.to))] += f;
+    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
+      z[objective.xvar(v)] = 0.0;
+    for (std::size_t l = 0; l < inst_.num_links(); ++l)
+      z[objective.yvar(l)] = 0.0;
+    for (std::size_t j = 0; j < inst_.num_demands(); ++j)
+      for (std::size_t pos = 0; pos < fidx_.link_of[j].size(); ++pos) {
+        const double f = z[fidx_.offset[j][pos]];
+        const auto& link = inst_.links[fidx_.link_of[j][pos]];
+        z[objective.yvar(fidx_.link_of[j][pos])] += f;
+        z[objective.xvar(inst_.node_key(link.tier + 1, link.to))] += f;
       }
-    for (std::size_t v = 0; v < inst.num_nodes(); ++v)
+    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
       z[objective.xvar(v)] = z[objective.xvar(v)] * 1.01 + 1e-6;
-    for (std::size_t l = 0; l < inst.num_links(); ++l)
+    for (std::size_t l = 0; l < inst_.num_links(); ++l)
       z[objective.yvar(l)] = z[objective.yvar(l)] * 1.01 + 1e-6;
 
-    const auto result = solver::solve_barrier(objective, g, h, z, options.ipm);
+    const auto result =
+        solver::solve_barrier(objective, g_, h_, z, options_.ipm, &scratch_);
     SORA_CHECK_MSG(result.ok(),
                    "n-tier P2 failed at t=" + std::to_string(t) + ": " +
                        result.detail);
 
-    NTierAllocation a{Vec(inst.num_nodes(), 0.0), Vec(inst.num_links(), 0.0)};
-    for (std::size_t v = 0; v < inst.num_nodes(); ++v)
-      a.node[v] = inst.node_capacity[v] > 0.0
+    NTierAllocation a{Vec(inst_.num_nodes(), 0.0),
+                      Vec(inst_.num_links(), 0.0)};
+    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
+      a.node[v] = inst_.node_capacity[v] > 0.0
                       ? std::max(0.0, result.x[objective.xvar(v)])
                       : 0.0;
-    for (std::size_t l = 0; l < inst.num_links(); ++l)
-      a.link[l] = inst.link_capacity[l] > 0.0
+    for (std::size_t l = 0; l < inst_.num_links(); ++l)
+      a.link[l] = inst_.link_capacity[l] > 0.0
                       ? std::max(0.0, result.x[objective.yvar(l)])
                       : 0.0;
     return a;
   }
-}
+
+ private:
+  std::size_t num_vars() const {
+    return fidx_.count + inst_.num_nodes() + inst_.num_links();
+  }
+
+  void build_constraints() {
+    // Constraint polyhedron via an LpBuilder (reusing the routing rows) with
+    // placeholder zero demands, then converted to CSR G z <= h. Coverage
+    // rows are the first num_demands() >= rows; their right-hand sides are
+    // the only slot-dependent part, patched in solve().
+    // Zero-capacity resources (tier-0 nodes, unreachable links) have an
+    // empty strict interior at [0, 0]; give them a tiny slack bound for the
+    // barrier and zero them on extraction.
+    constexpr double kTinyBound = 1e-4;
+    const std::size_t n = num_vars();
+    LpBuilder b;
+    for (std::size_t f = 0; f < fidx_.count; ++f)
+      b.add_variable(0.0, kInf, 0.0);
+    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
+      b.add_variable(0.0, std::max(inst_.node_capacity[v], kTinyBound), 0.0);
+    for (std::size_t l = 0; l < inst_.num_links(); ++l)
+      b.add_variable(0.0, std::max(inst_.link_capacity[l], kTinyBound), 0.0);
+    const std::size_t V = inst_.num_nodes();
+    add_routing_rows(
+        inst_, Vec(inst_.num_demands(), 0.0), b, fidx_,
+        [this](std::size_t j, std::size_t pos) {
+          return fidx_.offset[j][pos];
+        },
+        [this](std::size_t v) { return fidx_.count + v; },
+        [this, V](std::size_t l) { return fidx_.count + V + l; });
+    const solver::LpModel cons = b.build();
+
+    std::vector<linalg::Triplet> trips;
+    std::size_t r = 0;
+    coverage_h_.assign(inst_.num_demands(), static_cast<std::size_t>(-1));
+    const auto& offs = cons.a.row_offsets();
+    const auto& cidx = cons.a.col_indices();
+    const auto& cval = cons.a.values();
+    for (std::size_t lp_r = 0; lp_r < cons.num_rows(); ++lp_r) {
+      if (std::isfinite(cons.row_lower[lp_r])) {  // a z >= l  ->  -a z <= -l
+        for (std::size_t kk = offs[lp_r]; kk < offs[lp_r + 1]; ++kk)
+          trips.push_back({r, cidx[kk], -cval[kk]});
+        h_.push_back(-cons.row_lower[lp_r]);
+        if (lp_r < inst_.num_demands()) coverage_h_[lp_r] = r;
+        ++r;
+      }
+      if (std::isfinite(cons.row_upper[lp_r])) {
+        for (std::size_t kk = offs[lp_r]; kk < offs[lp_r + 1]; ++kk)
+          trips.push_back({r, cidx[kk], cval[kk]});
+        h_.push_back(cons.row_upper[lp_r]);
+        ++r;
+      }
+    }
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      if (std::isfinite(cons.var_lower[c2])) {
+        trips.push_back({r, c2, -1.0});
+        h_.push_back(-cons.var_lower[c2]);
+        ++r;
+      }
+      if (std::isfinite(cons.var_upper[c2])) {
+        trips.push_back({r, c2, 1.0});
+        h_.push_back(cons.var_upper[c2]);
+        ++r;
+      }
+    }
+    g_ = linalg::SparseMatrix::from_triplets(r, n, std::move(trips));
+    price_row_.assign(inst_.num_nodes(), 0.0);
+  }
+
+  const NTierInstance& inst_;
+  NTierRoaOptions options_;
+  FlowIndex fidx_;
+  linalg::SparseMatrix g_;
+  Vec h_;
+  std::vector<std::size_t> coverage_h_;  // h index of commodity j's coverage
+  Vec price_row_;
+  solver::IpmScratch scratch_;
+};
 
 }  // namespace
 
@@ -672,10 +726,11 @@ NTierTrajectory run_ntier_roa(const NTierInstance& inst,
                               const NTierRoaOptions& options,
                               const NTierInputs* inputs) {
   const InputsView view{inst, inputs};
+  NTierSlotSolver solver(inst, options);
   NTierTrajectory traj;
   NTierAllocation prev{Vec(inst.num_nodes(), 0.0), Vec(inst.num_links(), 0.0)};
   for (std::size_t t = 0; t < inst.horizon; ++t) {
-    prev = solve_ntier_p2_slot(inst, view, t, prev, options);
+    prev = solver.solve(view, t, prev);
     traj.slots.push_back(prev);
   }
   return traj;
@@ -906,6 +961,7 @@ NTierControlRun run_ntier_rfhc(const NTierInstance& inst,
   SORA_CHECK(options.window >= 1);
   NTierForecast forecast(inst, options.error_pct, options.noise_seed);
   NTierApplier applier(inst, options.lp, "RFHC");
+  NTierSlotSolver slot_solver(inst, options.roa);
   for (std::size_t t0 = 0; t0 < inst.horizon; t0 += options.window) {
     const std::size_t t1 = std::min(inst.horizon, t0 + options.window);
     forecast.observe(inst, t0);
@@ -915,7 +971,7 @@ NTierControlRun run_ntier_rfhc(const NTierInstance& inst,
     std::vector<NTierAllocation> chain;
     NTierAllocation chain_prev = applier.prev;
     for (std::size_t t = t0; t < t1; ++t) {
-      chain_prev = solve_ntier_p2_slot(inst, view, t, chain_prev, options.roa);
+      chain_prev = slot_solver.solve(view, t, chain_prev);
       chain.push_back(chain_prev);
     }
     if (t1 - t0 == 1) {
@@ -941,15 +997,14 @@ NTierControlRun run_ntier_rrhc(const NTierInstance& inst,
   NTierAllocation chain_prev{Vec(inst.num_nodes(), 0.0),
                              Vec(inst.num_links(), 0.0)};
   NTierApplier applier(inst, options.lp, "RRHC");
+  NTierSlotSolver slot_solver(inst, options.roa);
   for (std::size_t t = 0; t < inst.horizon; ++t) {
     forecast.observe(inst, t);
     const NTierInputs in = forecast.inputs();
     const InputsView view{inst, &in};
     const std::size_t t1 = std::min(inst.horizon, t + w);
     while (chain.size() < t1) {
-      chain_prev =
-          solve_ntier_p2_slot(inst, view, chain.size(), chain_prev,
-                              options.roa);
+      chain_prev = slot_solver.solve(view, chain.size(), chain_prev);
       chain.push_back(chain_prev);
     }
     if (t1 - t == 1) {

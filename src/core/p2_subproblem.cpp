@@ -9,11 +9,13 @@
 #include "solver/simplex.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace sora::core {
 namespace {
 
 using linalg::Matrix;
+using linalg::SparseMatrix;
 using solver::kInf;
 
 // Variable layout: [x_e (E) | y_e (E) | s_e (E)] (+ [z_e (E)] with F_1).
@@ -34,7 +36,35 @@ Layout layout_for(const Instance& inst) {
   return Layout{inst.num_edges(), inst.has_tier1()};
 }
 
-// The smooth convex P2 objective.
+// The even-split start inflated by small margins: s covers demand strictly,
+// x, y (and z) strictly dominate s, capacities keep 25% headroom by
+// provisioning. Shared by the dense and sparse paths. Tier-1 clouds with no
+// admissible edges are skipped — dividing by |I_j| = 0 would poison the
+// whole vector with NaN; positive demand there is structurally infeasible.
+void even_split_start_into(const Instance& inst, const InputSeries& inputs,
+                           std::size_t t, const Layout& layout, Vec& v) {
+  v.assign(layout.size(), 0.0);
+  for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+    const auto& ids = inst.edges_of_tier1[j];
+    if (ids.empty()) {
+      SORA_CHECK_MSG(inputs.lambda(t, j) <= 0.0,
+                     "tier-1 cloud " + std::to_string(j) +
+                         " has no admissible edges but positive demand at t=" +
+                         std::to_string(t) + ": P2 is infeasible");
+      continue;
+    }
+    const double split =
+        inputs.lambda(t, j) / static_cast<double>(ids.size());
+    for (const std::size_t e : ids) {
+      v[layout.s(e)] = split * 1.01 + 1e-7;
+      v[layout.x(e)] = split * 1.02 + 2e-7;
+      v[layout.y(e)] = split * 1.02 + 2e-7;
+      if (layout.with_z) v[layout.z(e)] = split * 1.02 + 2e-7;
+    }
+  }
+}
+
+// The smooth convex P2 objective (dense reference implementation).
 class P2Objective : public solver::ConvexObjective {
  public:
   P2Objective(const Instance& inst, const InputSeries& inputs, std::size_t t,
@@ -237,6 +267,10 @@ P2Constraints build_constraints(const Instance& inst, const InputSeries& inputs,
     std::vector<std::pair<std::size_t, double>> terms;
     for (const std::size_t e : inst.edges_of_tier1[j])
       terms.push_back({layout.s(e), -1.0});
+    // An edgeless tier-1 cloud with zero demand yields the vacuous row
+    // 0 <= 0, which has no strict interior — skip it. (With positive demand
+    // the empty row is kept: it correctly renders the problem infeasible.)
+    if (terms.empty() && inputs.lambda(t, j) <= 0.0) continue;
     out.gamma_row[j] = add_row(std::move(terms), -inputs.lambda(t, j));
   }
   // (3d): for each i, sum of x over edges NOT incident to i must cover
@@ -298,14 +332,16 @@ P2Constraints build_constraints(const Instance& inst, const InputSeries& inputs,
 }
 
 // Phase-I LP: maximize the margin m with G v + m <= h, 0 <= m <= 1.
-Vec phase1_feasible_point(const Matrix& g, const Vec& h, std::size_t n) {
+// Row coefficients are supplied by a callback so the dense and CSR paths
+// share the construction.
+template <typename RowTerms>
+Vec phase1_feasible_point(std::size_t num_rows, const Vec& h, std::size_t n,
+                          RowTerms row_terms) {
   solver::LpBuilder b;
   for (std::size_t j = 0; j < n; ++j) b.add_variable(-kInf, kInf, 0.0);
   const std::size_t margin = b.add_variable(0.0, 1.0, -1.0, "margin");
-  for (std::size_t r = 0; r < g.rows(); ++r) {
-    std::vector<solver::LinTerm> terms;
-    for (std::size_t c = 0; c < n; ++c)
-      if (g(r, c) != 0.0) terms.push_back({c, g(r, c)});
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    std::vector<solver::LinTerm> terms = row_terms(r);
     terms.push_back({margin, 1.0});
     b.add_le(terms, h[r]);
   }
@@ -317,57 +353,31 @@ Vec phase1_feasible_point(const Matrix& g, const Vec& h, std::size_t n) {
   return v;
 }
 
-}  // namespace
-
-Vec p2_strictly_feasible_point(const Instance& inst, const InputSeries& inputs,
-                               std::size_t t) {
-  const Layout layout = layout_for(inst);
-  Vec v(layout.size(), 0.0);
-  // Even split inflated by small margins: s covers demand strictly, x, y
-  // (and z) strictly dominate s, capacities keep 25% headroom by
-  // provisioning.
-  for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
-    const auto& ids = inst.edges_of_tier1[j];
-    const double split =
-        inputs.lambda(t, j) / static_cast<double>(ids.size());
-    for (const std::size_t e : ids) {
-      v[layout.s(e)] = split * 1.01 + 1e-7;
-      v[layout.x(e)] = split * 1.02 + 2e-7;
-      v[layout.y(e)] = split * 1.02 + 2e-7;
-      if (layout.with_z) v[layout.z(e)] = split * 1.02 + 2e-7;
-    }
-  }
-
-  const P2Constraints cons = build_constraints(inst, inputs, t);
-  const Vec gx = cons.g.multiply(v);
-  double min_slack = kInf;
-  for (std::size_t r = 0; r < cons.h.size(); ++r)
-    min_slack = std::min(min_slack, cons.h[r] - gx[r]);
-  if (min_slack > 0.0) return v;
-
-  SORA_LOG_DEBUG << "p2: even-split start infeasible (slack " << min_slack
-                 << "); falling back to phase-I LP";
-  return phase1_feasible_point(cons.g, cons.h, layout.size());
+Vec phase1_feasible_point(const Matrix& g, const Vec& h, std::size_t n) {
+  return phase1_feasible_point(
+      g.rows(), h, n, [&g, n](std::size_t r) {
+        std::vector<solver::LinTerm> terms;
+        for (std::size_t c = 0; c < n; ++c)
+          if (g(r, c) != 0.0) terms.push_back({c, g(r, c)});
+        return terms;
+      });
 }
 
-P2Solution solve_p2(const Instance& inst, const InputSeries& inputs,
-                    std::size_t t, const Allocation& prev,
-                    const RoaOptions& options) {
-  SORA_CHECK(t < inst.horizon);
-  SORA_CHECK(prev.x.size() == inst.num_edges());
-  const Layout layout = layout_for(inst);
+Vec phase1_feasible_point(const SparseMatrix& g, const Vec& h, std::size_t n) {
+  return phase1_feasible_point(
+      g.rows(), h, n, [&g](std::size_t r) {
+        std::vector<solver::LinTerm> terms;
+        const auto row = g.row(r);
+        for (std::size_t k = 0; k < row.size; ++k)
+          if (row.vals[k] != 0.0) terms.push_back({row.cols[k], row.vals[k]});
+        return terms;
+      });
+}
 
-  const P2Objective objective(inst, inputs, t, prev, options);
-  const P2Constraints cons = build_constraints(inst, inputs, t);
-  const Vec start = p2_strictly_feasible_point(inst, inputs, t);
-
-  const auto result =
-      solver::solve_barrier(objective, cons.g, cons.h, start, options.ipm);
-  SORA_CHECK_MSG(result.ok(),
-                 "P2 barrier solve failed at t=" + std::to_string(t) + ": " +
-                     result.detail);
-
-  P2Solution out;
+// Shared extraction of the primal solution (clamped to the nonnegative
+// orthant) from a barrier result.
+void extract_primal(const Layout& layout, const solver::IpmResult& result,
+                    P2Solution& out) {
   out.alloc = Allocation::zeros(layout.num_edges);
   out.s.assign(layout.num_edges, 0.0);
   for (std::size_t e = 0; e < layout.num_edges; ++e) {
@@ -378,6 +388,35 @@ P2Solution solve_p2(const Instance& inst, const InputSeries& inputs,
   }
   out.objective = result.objective;
   out.newton_steps = result.newton_steps;
+}
+
+// The dense reference path: rebuild constraints, cold-start, dense barrier.
+P2Solution solve_p2_dense(const Instance& inst, const InputSeries& inputs,
+                          std::size_t t, const Allocation& prev,
+                          const RoaOptions& options) {
+  SORA_CHECK(t < inst.horizon);
+  SORA_CHECK(prev.x.size() == inst.num_edges());
+  const Layout layout = layout_for(inst);
+
+  util::Timer timer;
+  const P2Objective objective(inst, inputs, t, prev, options);
+  const P2Constraints cons = build_constraints(inst, inputs, t);
+  const Vec start = p2_strictly_feasible_point(inst, inputs, t);
+  const double build_seconds = timer.seconds();
+
+  timer.reset();
+  const auto result =
+      solver::solve_barrier(objective, cons.g, cons.h, start, options.ipm);
+  SORA_CHECK_MSG(result.ok(),
+                 "P2 barrier solve failed at t=" + std::to_string(t) + ": " +
+                     result.detail);
+
+  P2Solution out;
+  extract_primal(layout, result, out);
+  out.timing.build_seconds = build_seconds;
+  out.timing.solve_seconds = timer.seconds();
+  out.timing.newton_steps = result.newton_steps;
+  out.timing.warm_started = false;
 
   // Recover the named KKT multipliers for the certificate machinery.
   const auto pick = [&result](const std::vector<std::size_t>& row_of,
@@ -394,6 +433,488 @@ P2Solution solve_p2(const Instance& inst, const InputSeries& inputs,
   out.theta = pick(cons.theta_row, layout.num_edges);
   out.sigma = pick(cons.sigma_row, layout.num_edges);
   return out;
+}
+
+// The P2 objective with structure-once weights and per-slot state, plus
+// allocation-free gradient/Hessian evaluation for the sparse Newton loop.
+class SparseP2Objective final : public solver::ConvexObjective {
+ public:
+  SparseP2Objective(const Instance& inst, const RoaOptions& options)
+      : inst_(inst), layout_(layout_for(inst)), options_(options) {
+    const std::size_t E = layout_.num_edges;
+    x_weight_.resize(inst.num_tier2());
+    for (std::size_t i = 0; i < inst.num_tier2(); ++i) {
+      const double eta = regularizer_eta(inst.tier2_capacity[i], options.eps);
+      x_weight_[i] = eta > 0.0 ? inst.tier2_reconfig[i] / eta : 0.0;
+    }
+    y_weight_.resize(E);
+    price_y_.resize(E);
+    for (std::size_t e = 0; e < E; ++e) {
+      const double eta =
+          regularizer_eta(inst.edge_capacity[e], options.eps_prime);
+      y_weight_[e] = eta > 0.0 ? inst.edge_reconfig[e] / eta : 0.0;
+      price_y_[e] = inst.edge_price[e];
+    }
+    price_x_.assign(E, 0.0);
+    prev_totals_.assign(inst.num_tier2(), 0.0);
+    prev_y_.assign(E, 0.0);
+    totals_.assign(inst.num_tier2(), 0.0);
+    if (layout_.with_z) {
+      z_weight_.resize(inst.num_tier1());
+      for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+        const double eta =
+            regularizer_eta(inst.tier1_capacity[j], options.eps);
+        z_weight_[j] = eta > 0.0 ? inst.tier1_reconfig[j] / eta : 0.0;
+      }
+      price_z_.assign(E, 0.0);
+      prev_t1_totals_.assign(inst.num_tier1(), 0.0);
+      t1_totals_.assign(inst.num_tier1(), 0.0);
+    }
+  }
+
+  /// Patch the per-slot state (prices and the previous decision) in place.
+  void begin_slot(const InputSeries& inputs, std::size_t t,
+                  const Allocation& prev) {
+    const std::size_t E = layout_.num_edges;
+    for (std::size_t e = 0; e < E; ++e)
+      price_x_[e] = inputs.price(t, inst_.edges[e].tier2);
+    std::fill(prev_totals_.begin(), prev_totals_.end(), 0.0);
+    for (std::size_t e = 0; e < E; ++e)
+      prev_totals_[inst_.edges[e].tier2] += prev.x[e];
+    prev_y_ = prev.y;
+    if (layout_.with_z) {
+      for (std::size_t e = 0; e < E; ++e)
+        price_z_[e] = inst_.tier1_price[t][inst_.edges[e].tier1];
+      std::fill(prev_t1_totals_.begin(), prev_t1_totals_.end(), 0.0);
+      for (std::size_t e = 0; e < E; ++e)
+        prev_t1_totals_[inst_.edges[e].tier1] += prev.z[e];
+    }
+  }
+
+  double value(const Vec& v) const override {
+    double total = 0.0;
+    x_totals_into(v);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e) {
+      total += price_x_[e] * v[layout_.x(e)];
+      total += price_y_[e] * v[layout_.y(e)];
+      total += y_weight_[e] * entropic_value(v[layout_.y(e)], prev_y_[e],
+                                             options_.eps_prime);
+    }
+    for (std::size_t i = 0; i < totals_.size(); ++i)
+      total += x_weight_[i] *
+               entropic_value(totals_[i], prev_totals_[i], options_.eps);
+    if (layout_.with_z) {
+      z_totals_into(v);
+      for (std::size_t e = 0; e < layout_.num_edges; ++e)
+        total += price_z_[e] * v[layout_.z(e)];
+      for (std::size_t j = 0; j < t1_totals_.size(); ++j)
+        total += z_weight_[j] *
+                 entropic_value(t1_totals_[j], prev_t1_totals_[j],
+                                options_.eps);
+    }
+    return total;
+  }
+
+  Vec gradient(const Vec& v) const override {
+    Vec g(layout_.size(), 0.0);
+    gradient_into(v, g);
+    return g;
+  }
+
+  Matrix hessian(const Vec& v) const override {
+    Matrix h(layout_.size(), layout_.size(), 0.0);
+    hessian_into(v, h);
+    return h;
+  }
+
+  void gradient_into(const Vec& v, Vec& g) const override {
+    x_totals_into(v);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e) {
+      const std::size_t i = inst_.edges[e].tier2;
+      g[layout_.x(e)] =
+          price_x_[e] + x_weight_[i] * entropic_gradient(totals_[i],
+                                                         prev_totals_[i],
+                                                         options_.eps);
+      g[layout_.y(e)] =
+          price_y_[e] + y_weight_[e] * entropic_gradient(v[layout_.y(e)],
+                                                         prev_y_[e],
+                                                         options_.eps_prime);
+      g[layout_.s(e)] = 0.0;  // s does not appear in the objective
+    }
+    if (layout_.with_z) {
+      z_totals_into(v);
+      for (std::size_t e = 0; e < layout_.num_edges; ++e) {
+        const std::size_t j = inst_.edges[e].tier1;
+        g[layout_.z(e)] =
+            price_z_[e] + z_weight_[j] * entropic_gradient(
+                                             t1_totals_[j],
+                                             prev_t1_totals_[j],
+                                             options_.eps);
+      }
+    }
+  }
+
+  void hessian_into(const Vec& v, Matrix& h) const override {
+    for (std::size_t r = 0; r < h.rows(); ++r) {
+      double* row = h.row_ptr(r);
+      std::fill(row, row + h.cols(), 0.0);
+    }
+    x_totals_into(v);
+    for (std::size_t i = 0; i < inst_.num_tier2(); ++i) {
+      const double curvature =
+          x_weight_[i] * entropic_hessian(totals_[i], options_.eps);
+      const auto& ids = inst_.edges_of_tier2[i];
+      for (const std::size_t e1 : ids)
+        for (const std::size_t e2 : ids)
+          h(layout_.x(e1), layout_.x(e2)) = curvature;
+    }
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      h(layout_.y(e), layout_.y(e)) =
+          y_weight_[e] * entropic_hessian(v[layout_.y(e)], options_.eps_prime);
+    if (layout_.with_z) {
+      z_totals_into(v);
+      for (std::size_t j = 0; j < inst_.num_tier1(); ++j) {
+        const double curvature =
+            z_weight_[j] * entropic_hessian(t1_totals_[j], options_.eps);
+        const auto& ids = inst_.edges_of_tier1[j];
+        for (const std::size_t e1 : ids)
+          for (const std::size_t e2 : ids)
+            h(layout_.z(e1), layout_.z(e2)) = curvature;
+      }
+    }
+  }
+
+ private:
+  void x_totals_into(const Vec& v) const {
+    std::fill(totals_.begin(), totals_.end(), 0.0);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      totals_[inst_.edges[e].tier2] += v[layout_.x(e)];
+  }
+
+  void z_totals_into(const Vec& v) const {
+    std::fill(t1_totals_.begin(), t1_totals_.end(), 0.0);
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      t1_totals_[inst_.edges[e].tier1] += v[layout_.z(e)];
+  }
+
+  const Instance& inst_;
+  Layout layout_;
+  RoaOptions options_;
+  Vec x_weight_, y_weight_, z_weight_;
+  Vec price_x_, price_y_, price_z_;
+  // Per-slot previous-decision aggregates and evaluation scratch.
+  Vec prev_totals_, prev_y_, prev_t1_totals_;
+  mutable Vec totals_, t1_totals_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// P2Workspace: structure-once CSR constraints + warm-started sparse solves.
+
+struct P2Workspace::Impl {
+  const Instance& inst;
+  RoaOptions options;
+  Layout layout;
+  SparseP2Objective objective;
+
+  // The CSR pattern holds EVERY potential row, including the conditional
+  // transfer rows (3d)/(3e). Inactive conditional rows are patched to an
+  // all-zero row with h = 1: slack is identically 1, so they contribute
+  // nothing to the gradient, Hessian, or line search — only the duality-gap
+  // count m, which costs at most a fraction of one extra outer iteration.
+  SparseMatrix g;
+  Vec h_static;  // slot-independent right-hand sides (patched rows hold 0)
+  Vec h;         // per-slot patched copy
+  std::vector<std::size_t> rho_row, phi_row, gamma_row, delta_row, theta_row,
+      sigma_row;
+  std::vector<char> delta_active, theta_active;
+
+  // Warm-start state: the packed [x|y|s|z] optimum of the previous solve.
+  Vec last_opt;
+  bool has_last = false;
+
+  // Preallocated buffers (reused across slots).
+  solver::IpmScratch scratch;
+  Vec start, anchor, slack_buf;
+
+  Impl(const Instance& inst_, const RoaOptions& options_)
+      : inst(inst_), options(options_), layout(layout_for(inst_)),
+        objective(inst_, options_) {
+    build_pattern();
+    h = h_static;
+    slack_buf.assign(g.rows(), 0.0);
+  }
+
+  void build_pattern() {
+    const std::size_t E = layout.num_edges;
+    const std::size_t I = inst.num_tier2();
+    const std::size_t J = inst.num_tier1();
+
+    std::vector<linalg::Triplet> trips;
+    std::size_t r = 0;
+    rho_row.assign(E, kNoRow);
+    phi_row.assign(E, kNoRow);
+    gamma_row.assign(J, kNoRow);
+    delta_row.assign(I, kNoRow);
+    theta_row.assign(E, kNoRow);
+    sigma_row.assign(E, kNoRow);
+    delta_active.assign(I, 0);
+    theta_active.assign(E, 0);
+
+    for (std::size_t e = 0; e < E; ++e) {
+      rho_row[e] = r;
+      trips.push_back({r, layout.s(e), 1.0});
+      trips.push_back({r, layout.x(e), -1.0});
+      h_static.push_back(0.0);
+      ++r;
+      phi_row[e] = r;
+      trips.push_back({r, layout.s(e), 1.0});
+      trips.push_back({r, layout.y(e), -1.0});
+      h_static.push_back(0.0);
+      ++r;
+    }
+    for (std::size_t j = 0; j < J; ++j) {  // (3c), h patched per slot
+      gamma_row[j] = r;
+      for (const std::size_t e : inst.edges_of_tier1[j])
+        trips.push_back({r, layout.s(e), -1.0});
+      h_static.push_back(0.0);
+      ++r;
+    }
+    for (std::size_t i = 0; i < I; ++i) {  // (3d), values + h patched
+      delta_row[i] = r;
+      for (std::size_t e = 0; e < E; ++e)
+        if (inst.edges[e].tier2 != i)
+          trips.push_back({r, layout.x(e), -1.0});
+      h_static.push_back(0.0);
+      ++r;
+    }
+    for (std::size_t e = 0; e < E; ++e) {  // (3e), values + h patched
+      theta_row[e] = r;
+      const std::size_t j = inst.edges[e].tier1;
+      for (const std::size_t e2 : inst.edges_of_tier1[j])
+        if (e2 != e) trips.push_back({r, layout.y(e2), -1.0});
+      h_static.push_back(0.0);
+      ++r;
+    }
+    for (std::size_t e = 0; e < E; ++e) {  // (3f) + edge capacity (1c)
+      trips.push_back({r, layout.x(e), -1.0});
+      h_static.push_back(0.0);
+      ++r;
+      trips.push_back({r, layout.y(e), -1.0});
+      h_static.push_back(0.0);
+      ++r;
+      trips.push_back({r, layout.s(e), -1.0});
+      h_static.push_back(0.0);
+      ++r;
+      trips.push_back({r, layout.y(e), 1.0});
+      h_static.push_back(inst.edge_capacity[e]);
+      ++r;
+    }
+    for (std::size_t i = 0; i < I; ++i) {  // tier-2 capacity (1b)
+      if (inst.edges_of_tier2[i].empty()) continue;
+      for (const std::size_t e : inst.edges_of_tier2[i])
+        trips.push_back({r, layout.x(e), 1.0});
+      h_static.push_back(inst.tier2_capacity[i]);
+      ++r;
+    }
+    if (layout.with_z) {
+      for (std::size_t e = 0; e < E; ++e) {
+        sigma_row[e] = r;
+        trips.push_back({r, layout.s(e), 1.0});
+        trips.push_back({r, layout.z(e), -1.0});
+        h_static.push_back(0.0);
+        ++r;
+        trips.push_back({r, layout.z(e), -1.0});
+        h_static.push_back(0.0);
+        ++r;
+      }
+      for (std::size_t j = 0; j < J; ++j) {  // tier-1 capacity (1d)
+        for (const std::size_t e : inst.edges_of_tier1[j])
+          trips.push_back({r, layout.z(e), 1.0});
+        h_static.push_back(inst.tier1_capacity[j]);
+        ++r;
+      }
+    }
+
+    g = SparseMatrix::from_triplets(r, layout.size(), std::move(trips));
+  }
+
+  // Set every stored value of CSR row `row` to `value` (the conditional
+  // rows' coefficients are uniformly -1 when active, 0 when disabled).
+  void patch_row_values(std::size_t row, double value) {
+    auto& vals = g.mutable_values();
+    const auto& offs = g.row_offsets();
+    for (std::size_t k = offs[row]; k < offs[row + 1]; ++k) vals[k] = value;
+  }
+
+  void patch_slot(const InputSeries& inputs, std::size_t t) {
+    h = h_static;
+    double total_demand = 0.0;
+    for (std::size_t j = 0; j < inst.num_tier1(); ++j)
+      total_demand += inputs.lambda(t, j);
+    for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+      const double lambda = inputs.lambda(t, j);
+      // An edgeless cloud's (3c) row is empty; with zero demand pad it to
+      // the inert 0 <= 1 (a vacuous 0 <= 0 has no strict interior), with
+      // positive demand keep 0 <= -lambda so infeasibility surfaces.
+      h[gamma_row[j]] =
+          inst.edges_of_tier1[j].empty() && lambda <= 0.0 ? 1.0 : -lambda;
+    }
+    for (std::size_t i = 0; i < inst.num_tier2(); ++i) {
+      const double rhs = total_demand - inst.tier2_capacity[i];
+      const bool active = rhs > 0.0;
+      delta_active[i] = active ? 1 : 0;
+      patch_row_values(delta_row[i], active ? -1.0 : 0.0);
+      h[delta_row[i]] = active ? -rhs : 1.0;
+    }
+    for (std::size_t e = 0; e < layout.num_edges; ++e) {
+      const std::size_t j = inst.edges[e].tier1;
+      const double rhs = inputs.lambda(t, j) - inst.edge_capacity[e];
+      const bool active = rhs > 0.0;
+      theta_active[e] = active ? 1 : 0;
+      patch_row_values(theta_row[e], active ? -1.0 : 0.0);
+      h[theta_row[e]] = active ? -rhs : 1.0;
+    }
+  }
+
+  double min_slack(const Vec& v) {
+    g.multiply_into(v, slack_buf);
+    double m = kInf;
+    for (std::size_t r = 0; r < h.size(); ++r)
+      m = std::min(m, h[r] - slack_buf[r]);
+    return m;
+  }
+
+  // Choose the starting point: the previous optimum pulled into the strict
+  // interior when warm starting, else the even-split anchor, else phase-I.
+  bool compute_start(const InputSeries& inputs, std::size_t t) {
+    even_split_start_into(inst, inputs, t, layout, anchor);
+    if (options.warm_start && has_last) {
+      // Slack is affine, so slack(blend) = (1-a) slack(last) + a
+      // slack(anchor): escalating a trades proximity for interior margin.
+      const double pull =
+          std::clamp(options.warm_start_pull, 1e-4, 1.0);
+      for (const double a : {pull, 0.25, 0.5}) {
+        start.resize(layout.size());
+        for (std::size_t k = 0; k < layout.size(); ++k)
+          start[k] = (1.0 - a) * last_opt[k] + a * anchor[k];
+        if (min_slack(start) > 1e-9) return true;
+      }
+    }
+    if (min_slack(anchor) > 0.0) {
+      start = anchor;
+      return false;
+    }
+    SORA_LOG_DEBUG << "p2: even-split start infeasible; falling back to "
+                      "phase-I LP";
+    start = phase1_feasible_point(g, h, layout.size());
+    return false;
+  }
+
+  P2Solution solve(const InputSeries& inputs, std::size_t t,
+                   const Allocation& prev) {
+    SORA_CHECK(t < inst.horizon);
+    SORA_CHECK(prev.x.size() == inst.num_edges());
+
+    if (!options.use_sparse) {
+      // The dense reference path (always cold-started).
+      return solve_p2_dense(inst, inputs, t, prev, options);
+    }
+
+    util::Timer timer;
+    patch_slot(inputs, t);
+    objective.begin_slot(inputs, t, prev);
+    const bool warm = compute_start(inputs, t);
+
+    solver::IpmOptions ipm = options.ipm;
+    if (warm) {
+      // Near-optimal starts waste outer iterations re-centering at small t:
+      // jump the barrier multiplier so the first center is already within a
+      // modest gap of the warm point.
+      ipm.t0 = std::max(ipm.t0, static_cast<double>(g.rows()) / 1e-2);
+    }
+    const double build_seconds = timer.seconds();
+
+    timer.reset();
+    const auto result =
+        solver::solve_barrier(objective, g, h, start, ipm, &scratch);
+    SORA_CHECK_MSG(result.ok(),
+                   "P2 barrier solve failed at t=" + std::to_string(t) +
+                       ": " + result.detail);
+
+    P2Solution out;
+    extract_primal(layout, result, out);
+    out.timing.build_seconds = build_seconds;
+    out.timing.solve_seconds = timer.seconds();
+    out.timing.newton_steps = result.newton_steps;
+    out.timing.warm_started = warm;
+
+    // Named KKT multipliers; disabled conditional rows report zero.
+    const std::size_t E = layout.num_edges;
+    out.rho.assign(E, 0.0);
+    out.phi.assign(E, 0.0);
+    out.sigma.assign(E, 0.0);
+    out.gamma.assign(inst.num_tier1(), 0.0);
+    out.delta.assign(inst.num_tier2(), 0.0);
+    out.theta.assign(E, 0.0);
+    for (std::size_t e = 0; e < E; ++e) {
+      out.rho[e] = result.ineq_dual[rho_row[e]];
+      out.phi[e] = result.ineq_dual[phi_row[e]];
+      if (layout.with_z) out.sigma[e] = result.ineq_dual[sigma_row[e]];
+      if (theta_active[e]) out.theta[e] = result.ineq_dual[theta_row[e]];
+    }
+    for (std::size_t j = 0; j < inst.num_tier1(); ++j)
+      if (!inst.edges_of_tier1[j].empty())
+        out.gamma[j] = result.ineq_dual[gamma_row[j]];
+    for (std::size_t i = 0; i < inst.num_tier2(); ++i)
+      if (delta_active[i]) out.delta[i] = result.ineq_dual[delta_row[i]];
+
+    last_opt = result.x;
+    has_last = true;
+    return out;
+  }
+};
+
+P2Workspace::P2Workspace(const Instance& inst, const RoaOptions& options)
+    : impl_(std::make_unique<Impl>(inst, options)) {}
+
+P2Workspace::~P2Workspace() = default;
+
+P2Solution P2Workspace::solve(const InputSeries& inputs, std::size_t t,
+                              const Allocation& prev) {
+  return impl_->solve(inputs, t, prev);
+}
+
+void P2Workspace::reset_warm_start() { impl_->has_last = false; }
+
+const RoaOptions& P2Workspace::options() const { return impl_->options; }
+
+Vec p2_strictly_feasible_point(const Instance& inst, const InputSeries& inputs,
+                               std::size_t t) {
+  const Layout layout = layout_for(inst);
+  Vec v;
+  even_split_start_into(inst, inputs, t, layout, v);
+
+  const P2Constraints cons = build_constraints(inst, inputs, t);
+  const Vec gx = cons.g.multiply(v);
+  double min_slack = kInf;
+  for (std::size_t r = 0; r < cons.h.size(); ++r)
+    min_slack = std::min(min_slack, cons.h[r] - gx[r]);
+  if (min_slack > 0.0) return v;
+
+  SORA_LOG_DEBUG << "p2: even-split start infeasible (slack " << min_slack
+                 << "); falling back to phase-I LP";
+  return phase1_feasible_point(cons.g, cons.h, layout.size());
+}
+
+P2Solution solve_p2(const Instance& inst, const InputSeries& inputs,
+                    std::size_t t, const Allocation& prev,
+                    const RoaOptions& options) {
+  if (!options.use_sparse)
+    return solve_p2_dense(inst, inputs, t, prev, options);
+  P2Workspace workspace(inst, options);
+  return workspace.solve(inputs, t, prev);
 }
 
 }  // namespace sora::core

@@ -1,5 +1,5 @@
 // The regularized per-slot subproblem P2(t) (paper eq. (3a)-(3f)) and its
-// solver.
+// solvers.
 //
 // Variables (per admissible edge e = (j, i)): x_e, y_e, s_e. Objective:
 //
@@ -12,11 +12,20 @@
 // shows they are slack at the optimum — the explicit capacity constraints
 // (1b)/(1c) to keep interior-point iterates physical.
 //
-// The solver is the dense barrier IPM; the strictly feasible start is the
-// even-split point inflated by a small margin (valid under the paper's
-// capacity provisioning rule), with a phase-I LP fallback for exotic
-// instances.
+// Two solver pipelines:
+//
+//   * P2Workspace (default): the constraint matrix is built ONCE per
+//     Instance as a CSR sparsity pattern with row bookkeeping; each slot
+//     only patches the right-hand side h and the conditional (3d)/(3e)
+//     rows, warm-starts from the previous slot's optimum pulled into the
+//     strict interior, and runs the sparse barrier IPM with preallocated
+//     scratch (zero heap allocation in the Newton loop).
+//   * the dense reference path (RoaOptions::use_sparse = false): rebuilds
+//     dense constraints every slot and cold-starts from the even-split
+//     point (phase-I LP fallback) — kept for cross-validation.
 #pragma once
+
+#include <memory>
 
 #include "core/p1_model.hpp"
 #include "core/types.hpp"
@@ -29,7 +38,29 @@ struct RoaOptions {
   double eps_prime = 1e-2;  // the paper's epsilon' (edges)
   solver::IpmOptions ipm;   // inner solver controls
 
+  // Use the CSR sparse barrier path (structure-once constraints, sparse
+  // Newton assembly). The dense path remains as the reference
+  // implementation, covered by the sparse-vs-dense equivalence tests.
+  bool use_sparse = true;
+  // Warm-start each P2Workspace solve from the previous slot's optimum,
+  // pulled into the strict interior by a convex combination with the
+  // even-split anchor. Ignored by the dense path and by the first solve of
+  // a fresh workspace (those cold-start).
+  bool warm_start = true;
+  // Initial convex-combination weight toward the even-split anchor when
+  // pulling the previous optimum inside; escalated toward 1.0 (a pure cold
+  // start) until the blended point is strictly feasible.
+  double warm_start_pull = 0.05;
+
   RoaOptions() { ipm.tol = 1e-6; }
+};
+
+/// Per-solve timing breakdown, aggregated into RoaRun by the drivers.
+struct P2Timing {
+  double build_seconds = 0.0;  // constraint patch + start-point construction
+  double solve_seconds = 0.0;  // inside the barrier solve
+  std::size_t newton_steps = 0;
+  bool warm_started = false;   // start derived from the previous optimum
 };
 
 struct P2Solution {
@@ -37,6 +68,7 @@ struct P2Solution {
   Vec s;                 // the auxiliary s_e at the optimum
   double objective = 0.0;  // P2 objective (regularized)
   std::size_t newton_steps = 0;
+  P2Timing timing;
 
   // KKT multipliers of P2(t)'s constraints (the paper's Step 3 notation),
   // recovered from the barrier solve. Zero where the constraint was not
@@ -50,8 +82,38 @@ struct P2Solution {
   Vec sigma;  // per edge, for z >= s (only with the tier-1 term)
 };
 
-/// Solve P2(t) given the previous slot's decision. Throws CheckError when
-/// the instance is infeasible at slot t.
+/// Reusable per-instance solver state for the P2(t) chain: the CSR
+/// constraint pattern, objective weight vectors, IPM scratch buffers, and
+/// the previous optimum for warm starting. Create one per Instance and call
+/// solve() slot by slot; with use_sparse = false it falls through to the
+/// dense reference path (always cold-started).
+class P2Workspace {
+ public:
+  P2Workspace(const Instance& inst, const RoaOptions& options = {});
+  ~P2Workspace();
+  P2Workspace(const P2Workspace&) = delete;
+  P2Workspace& operator=(const P2Workspace&) = delete;
+
+  /// Solve P2(t) given the previous slot's decision. Throws CheckError when
+  /// the instance is infeasible at slot t.
+  P2Solution solve(const InputSeries& inputs, std::size_t t,
+                   const Allocation& prev);
+
+  /// Forget the previous optimum: the next solve cold-starts. Use when the
+  /// chain is broken (e.g. re-planning from a different state).
+  void reset_warm_start();
+
+  const RoaOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Solve P2(t) given the previous slot's decision. Routes through a fresh
+/// P2Workspace (sparse, cold-started) by default; the dense reference path
+/// when options.use_sparse is false. Throws CheckError when the instance is
+/// infeasible at slot t.
 P2Solution solve_p2(const Instance& inst, const InputSeries& inputs,
                     std::size_t t, const Allocation& prev,
                     const RoaOptions& options = {});

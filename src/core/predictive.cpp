@@ -226,6 +226,9 @@ ControlRun run_rfhc(const Instance& inst, const ControlOptions& options) {
   SORA_CHECK(options.window >= 1);
   PredictedInputs pred = make_predictions(inst, options.prediction);
   Applier applier(inst, options.lp, "RFHC");
+  // One workspace for all blocks: the constraint pattern is per-Instance and
+  // consecutive chain solves warm-start each other across block boundaries.
+  P2Workspace workspace(inst, options.roa);
   for (std::size_t t0 = 0; t0 < inst.horizon; t0 += options.window) {
     const std::size_t t1 = std::min(inst.horizon, t0 + options.window);
     pred.observe(inst, t0);
@@ -233,7 +236,7 @@ ControlRun run_rfhc(const Instance& inst, const ControlOptions& options) {
     std::vector<Allocation> chain;
     Allocation chain_prev = applier.prev;
     for (std::size_t t = t0; t < t1; ++t) {
-      P2Solution p2 = solve_p2(inst, pred.view(), t, chain_prev, options.roa);
+      P2Solution p2 = workspace.solve(pred.view(), t, chain_prev);
       chain_prev = p2.alloc;
       chain.push_back(std::move(p2.alloc));
     }
@@ -262,10 +265,11 @@ ControlRun run_rrhc(const Instance& inst, const ControlOptions& options) {
   std::vector<Allocation> chain;
   chain.reserve(inst.horizon);
   Allocation chain_prev = Allocation::zeros(inst.num_edges());
+  P2Workspace workspace(inst, options.roa);
   auto extend_chain_to = [&](std::size_t tau) {
     while (chain.size() <= tau) {
       P2Solution p2 =
-          solve_p2(inst, pred.view(), chain.size(), chain_prev, options.roa);
+          workspace.solve(pred.view(), chain.size(), chain_prev);
       chain_prev = p2.alloc;
       chain.push_back(std::move(p2.alloc));
     }

@@ -10,10 +10,15 @@ RoaRun run_roa_with_inputs(const Instance& inst, const InputSeries& inputs,
   util::Timer timer;
   RoaRun run;
   run.trajectory.slots.reserve(inst.horizon);
+  run.slot_timings.reserve(inst.horizon);
+  P2Workspace workspace(inst, options);
   Allocation prev = Allocation::zeros(inst.num_edges());
   for (std::size_t t = 0; t < inst.horizon; ++t) {
-    P2Solution p2 = solve_p2(inst, inputs, t, prev, options);
+    P2Solution p2 = workspace.solve(inputs, t, prev);
     run.newton_steps += p2.newton_steps;
+    run.build_seconds += p2.timing.build_seconds;
+    run.barrier_seconds += p2.timing.solve_seconds;
+    run.slot_timings.push_back(p2.timing);
     prev = p2.alloc;
     run.trajectory.slots.push_back(std::move(p2.alloc));
   }

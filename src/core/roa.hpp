@@ -17,6 +17,13 @@ struct RoaRun {
   CostBreakdown cost;       // evaluated against the TRUE instance inputs
   double solve_seconds = 0.0;
   std::size_t newton_steps = 0;
+
+  // Per-slot timing breakdown from the P2 solver pipeline, plus its
+  // horizon-level aggregates: constraint patch + start construction
+  // (build_seconds) vs time inside the barrier solve (barrier_seconds).
+  std::vector<P2Timing> slot_timings;
+  double build_seconds = 0.0;
+  double barrier_seconds = 0.0;
 };
 
 /// Run ROA over the whole horizon with true inputs.

@@ -57,6 +57,40 @@ Cholesky Cholesky::factor_regularized(const Matrix& a, double initial_shift,
   SORA_CHECK_MSG(false, "Cholesky failed even with maximum diagonal shift");
 }
 
+double cholesky_factor_regularized_into(const Matrix& a, Matrix& l,
+                                        double initial_shift,
+                                        double max_shift) {
+  SORA_CHECK(a.rows() == a.cols());
+  for (double v : a.data())
+    SORA_CHECK_MSG(std::isfinite(v), "non-finite entry in Cholesky input");
+  l = a;
+  if (cholesky_in_place(l)) return 0.0;
+  for (double shift = initial_shift; shift <= max_shift; shift *= 10.0) {
+    l = a;
+    for (std::size_t i = 0; i < l.rows(); ++i) l(i, i) += shift;
+    if (cholesky_in_place(l)) return shift;
+  }
+  SORA_CHECK_MSG(false, "Cholesky failed even with maximum diagonal shift");
+}
+
+void cholesky_solve_in_place(const Matrix& l, Vec& x) {
+  const std::size_t n = l.rows();
+  SORA_CHECK(x.size() == n);
+  // Forward: L y = b (y overwrites x).
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = x[i];
+    const double* row = l.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) v -= row[k] * x[k];
+    x[i] = v / row[i];
+  }
+  // Backward: L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l(k, ii) * x[k];
+    x[ii] = v / l(ii, ii);
+  }
+}
+
 Vec Cholesky::solve(const Vec& b) const {
   const std::size_t n = l_.rows();
   SORA_CHECK(b.size() == n);

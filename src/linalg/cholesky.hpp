@@ -37,4 +37,16 @@ class Cholesky {
   double shift_ = 0.0;
 };
 
+/// Allocation-free variant for hot loops: copy `a` into the preallocated
+/// factor buffer `l` (same shape) and factor in place, escalating a diagonal
+/// shift by 10x (from initial_shift up to max_shift) until the factorization
+/// succeeds. Returns the applied shift; throws CheckError if even max_shift
+/// fails. No heap allocation when `l` already has a's shape.
+double cholesky_factor_regularized_into(const Matrix& a, Matrix& l,
+                                        double initial_shift,
+                                        double max_shift);
+
+/// Solve L L^T x = b in place: `x` holds b on entry, the solution on exit.
+void cholesky_solve_in_place(const Matrix& l, Vec& x);
+
 }  // namespace sora::linalg

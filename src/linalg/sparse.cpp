@@ -8,7 +8,8 @@
 namespace sora::linalg {
 
 SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
-                                         std::vector<Triplet> triplets) {
+                                         std::vector<Triplet> triplets,
+                                         bool keep_explicit_zeros) {
   SparseMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;
@@ -34,7 +35,7 @@ SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
         v += triplets[k].value;
         ++k;
       }
-      if (v != 0.0) {
+      if (v != 0.0 || keep_explicit_zeros) {
         m.col_indices_.push_back(c);
         m.values_.push_back(v);
       }
@@ -45,28 +46,74 @@ SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
   return m;
 }
 
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double drop_tol) {
+  SparseMatrix m;
+  m.rows_ = dense.rows();
+  m.cols_ = dense.cols();
+  m.row_offsets_.assign(m.rows_ + 1, 0);
+  for (std::size_t r = 0; r < m.rows_; ++r) {
+    m.row_offsets_[r] = m.values_.size();
+    const double* row = dense.row_ptr(r);
+    for (std::size_t c = 0; c < m.cols_; ++c) {
+      if (std::fabs(row[c]) > drop_tol) {
+        m.col_indices_.push_back(c);
+        m.values_.push_back(row[c]);
+      }
+    }
+  }
+  m.row_offsets_[m.rows_] = m.values_.size();
+  return m;
+}
+
 Vec SparseMatrix::multiply(const Vec& x) const {
-  SORA_CHECK(x.size() == cols_);
   Vec y(rows_, 0.0);
+  multiply_into(x, y);
+  return y;
+}
+
+Vec SparseMatrix::multiply_transpose(const Vec& x) const {
+  Vec y(cols_, 0.0);
+  multiply_transpose_into(x, y);
+  return y;
+}
+
+void SparseMatrix::multiply_into(const Vec& x, Vec& y) const {
+  SORA_CHECK(x.size() == cols_ && y.size() == rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
       acc += values_[k] * x[col_indices_[k]];
     y[r] = acc;
   }
-  return y;
 }
 
-Vec SparseMatrix::multiply_transpose(const Vec& x) const {
-  SORA_CHECK(x.size() == rows_);
-  Vec y(cols_, 0.0);
+void SparseMatrix::multiply_transpose_into(const Vec& x, Vec& y) const {
+  SORA_CHECK(x.size() == rows_ && y.size() == cols_);
+  std::fill(y.begin(), y.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;
     for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
       y[col_indices_[k]] += values_[k] * xr;
   }
-  return y;
+}
+
+void SparseMatrix::add_AtDA(const Vec& w, Matrix& out) const {
+  SORA_CHECK(w.size() == rows_);
+  SORA_CHECK(out.rows() == cols_ && out.cols() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double wr = w[r];
+    if (wr == 0.0) continue;
+    const std::size_t begin = row_offsets_[r];
+    const std::size_t end = row_offsets_[r + 1];
+    for (std::size_t k1 = begin; k1 < end; ++k1) {
+      const double wv = wr * values_[k1];
+      if (wv == 0.0) continue;
+      double* orow = out.row_ptr(col_indices_[k1]);
+      for (std::size_t k2 = begin; k2 < end; ++k2)
+        orow[col_indices_[k2]] += wv * values_[k2];
+    }
+  }
 }
 
 Vec SparseMatrix::row_abs_sums(double p) const {

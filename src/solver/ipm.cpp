@@ -10,17 +10,9 @@
 namespace sora::solver {
 namespace {
 
-using linalg::Cholesky;
 using linalg::Matrix;
+using linalg::SparseMatrix;
 using linalg::Vec;
-
-// Slacks s = h - Gx; all must stay strictly positive.
-Vec slacks(const Matrix& g, const Vec& h, const Vec& x) {
-  Vec s = h;
-  const Vec gx = g.multiply(x);
-  for (std::size_t i = 0; i < s.size(); ++i) s[i] -= gx[i];
-  return s;
-}
 
 double min_slack(const Vec& s) {
   double m = kInf;
@@ -35,25 +27,94 @@ double barrier_value(const Vec& s) {
   return v;
 }
 
-}  // namespace
+// The two constraint-matrix representations behind one solver: each adapter
+// provides the three G-operations the Newton iteration needs.
+struct DenseG {
+  const Matrix& g;
+  std::size_t rows() const { return g.rows(); }
+  std::size_t cols() const { return g.cols(); }
+  void multiply_into(const Vec& x, Vec& y) const {
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      const double* row = g.row_ptr(r);
+      double acc = 0.0;
+      for (std::size_t c = 0; c < g.cols(); ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+  }
+  void multiply_transpose_into(const Vec& x, Vec& y) const {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      const double* row = g.row_ptr(r);
+      for (std::size_t c = 0; c < g.cols(); ++c) y[c] += row[c] * xr;
+    }
+  }
+  // hess += G^T diag(w) G, dense O(m n^2) loops (skipping zero entries).
+  void add_AtDA(const Vec& w, Matrix& hess) const {
+    const std::size_t n = g.cols();
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      const double wi = w[i];
+      const double* grow = g.row_ptr(i);
+      for (std::size_t r = 0; r < n; ++r) {
+        const double gr = grow[r];
+        if (gr == 0.0) continue;
+        double* hrow = hess.row_ptr(r);
+        const double wgr = wi * gr;
+        for (std::size_t c = 0; c < n; ++c) hrow[c] += wgr * grow[c];
+      }
+    }
+  }
+};
 
-IpmResult solve_barrier(const ConvexObjective& objective, const Matrix& g,
-                        const Vec& h, const Vec& x0, const IpmOptions& options) {
+struct SparseG {
+  const SparseMatrix& g;
+  std::size_t rows() const { return g.rows(); }
+  std::size_t cols() const { return g.cols(); }
+  void multiply_into(const Vec& x, Vec& y) const { g.multiply_into(x, y); }
+  void multiply_transpose_into(const Vec& x, Vec& y) const {
+    g.multiply_transpose_into(x, y);
+  }
+  void add_AtDA(const Vec& w, Matrix& hess) const { g.add_AtDA(w, hess); }
+};
+
+template <class G>
+IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
+                             const Vec& h, const Vec& x0,
+                             const IpmOptions& options, IpmScratch& ws) {
   const std::size_t n = x0.size();
-  const std::size_t m = g.rows();
-  SORA_CHECK(g.cols() == n && h.size() == m);
+  const std::size_t m = gm.rows();
+  SORA_CHECK(gm.cols() == n && h.size() == m);
+
+  // Size the scratch buffers; no-ops when the caller reuses a scratch across
+  // same-shaped solves, which keeps the Newton loop allocation-free.
+  ws.s.resize(m);
+  ws.inv_s.resize(m);
+  ws.hess_w.resize(m);
+  ws.s_try.resize(m);
+  ws.gdx.resize(m);
+  ws.grad.resize(n);
+  ws.dx.resize(n);
+  ws.x_try.resize(n);
+  ws.gt_inv_s.resize(n);
+  if (ws.hess.rows() != n || ws.hess.cols() != n) ws.hess = Matrix(n, n, 0.0);
+  if (ws.chol.rows() != n || ws.chol.cols() != n) ws.chol = Matrix(n, n, 0.0);
+
+  // Slacks s = h - Gx; all must stay strictly positive.
+  const auto slacks_into = [&](const Vec& point, Vec& s) {
+    gm.multiply_into(point, s);
+    for (std::size_t i = 0; i < m; ++i) s[i] = h[i] - s[i];
+  };
 
   IpmResult result;
   Vec x = x0;
-  {
-    const Vec s0 = slacks(g, h, x);
-    if (min_slack(s0) <= 0.0) {
-      result.status = SolveStatus::kNumericalError;
-      result.detail = "starting point not strictly feasible (min slack " +
-                      std::to_string(min_slack(s0)) + ")";
-      result.x = x;
-      return result;
-    }
+  slacks_into(x, ws.s);
+  if (min_slack(ws.s) <= 0.0) {
+    result.status = SolveStatus::kNumericalError;
+    result.detail = "starting point not strictly feasible (min slack " +
+                    std::to_string(min_slack(ws.s)) + ")";
+    result.x = x;
+    return result;
   }
 
   double t = options.t0;
@@ -63,57 +124,47 @@ IpmResult solve_barrier(const ConvexObjective& objective, const Matrix& g,
   // central path, with its barrier multiplier. Dual recovery 1/(t*s) is only
   // trustworthy at such points; line-search stalls at extreme t would
   // otherwise poison the multipliers.
-  Vec centered_x;
+  bool have_center = false;
   double centered_t = 0.0;
 
   while (true) {
     // ---- Center for the current t with damped Newton.
-    bool centered = false;
     std::size_t steps_this_center = 0;
     while (newton_budget > 0 &&
            steps_this_center < options.max_steps_per_center) {
       ++steps_this_center;
-      const Vec s = slacks(g, h, x);
+      slacks_into(x, ws.s);
       // Gradient of t f + phi: t grad f + G^T (1/s).
-      Vec grad = objective.gradient(x);
-      linalg::scale(grad, t);
+      objective.gradient_into(x, ws.grad);
+      linalg::scale(ws.grad, t);
       // Floor the slacks inside the derivative assembly: a slack driven to
       // ~1e-14 would otherwise produce ~1e28 Hessian entries and destroy the
       // factorization. The line search still treats the true slacks.
-      Vec inv_s(m);
       for (std::size_t i = 0; i < m; ++i)
-        inv_s[i] = 1.0 / std::max(s[i], 1e-12);
-      const Vec gt_inv_s = g.multiply_transpose(inv_s);
-      for (std::size_t j = 0; j < n; ++j) grad[j] += gt_inv_s[j];
+        ws.inv_s[i] = 1.0 / std::max(ws.s[i], options.slack_floor);
+      gm.multiply_transpose_into(ws.inv_s, ws.gt_inv_s);
+      for (std::size_t j = 0; j < n; ++j) ws.grad[j] += ws.gt_inv_s[j];
 
       // Hessian: t H_f + G^T diag(1/s^2) G.
-      Matrix hess = objective.hessian(x);
-      for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < n; ++c) hess(r, c) *= t;
-      for (std::size_t i = 0; i < m; ++i) {
-        const double w = inv_s[i] * inv_s[i];
-        const double* grow = g.row_ptr(i);
-        for (std::size_t r = 0; r < n; ++r) {
-          const double gr = grow[r];
-          if (gr == 0.0) continue;
-          double* hrow = hess.row_ptr(r);
-          const double wgr = w * gr;
-          for (std::size_t c = 0; c < n; ++c) hrow[c] += wgr * grow[c];
-        }
+      objective.hessian_into(x, ws.hess);
+      for (std::size_t r = 0; r < n; ++r) {
+        double* hrow = ws.hess.row_ptr(r);
+        for (std::size_t c = 0; c < n; ++c) hrow[c] *= t;
       }
+      for (std::size_t i = 0; i < m; ++i)
+        ws.hess_w[i] = ws.inv_s[i] * ws.inv_s[i];
+      gm.add_AtDA(ws.hess_w, ws.hess);
 
-      const Cholesky chol =
-          Cholesky::factor_regularized(hess, 1e-12, 1e16);
-      Vec neg_grad(n);
-      for (std::size_t j = 0; j < n; ++j) neg_grad[j] = -grad[j];
-      const Vec dx = chol.solve(neg_grad);
+      linalg::cholesky_factor_regularized_into(ws.hess, ws.chol, 1e-12, 1e16);
+      for (std::size_t j = 0; j < n; ++j) ws.dx[j] = -ws.grad[j];
+      linalg::cholesky_solve_in_place(ws.chol, ws.dx);
 
-      const double decrement2 = -linalg::dot(grad, dx);  // lambda^2
+      const double decrement2 = -linalg::dot(ws.grad, ws.dx);  // lambda^2
       --newton_budget;
       ++steps_used;
       if (decrement2 / 2.0 <= options.newton_tol) {
-        centered = true;
-        centered_x = x;
+        ws.centered_x = x;
+        have_center = true;
         centered_t = t;
         break;
       }
@@ -122,26 +173,26 @@ IpmResult solve_barrier(const ConvexObjective& objective, const Matrix& g,
       double step = 1.0;
       {
         // First shrink until strictly feasible.
-        const Vec gdx = g.multiply(dx);
+        gm.multiply_into(ws.dx, ws.gdx);
         for (std::size_t i = 0; i < m; ++i) {
-          if (gdx[i] > 0.0) {
-            const double limit = s[i] / gdx[i];
+          if (ws.gdx[i] > 0.0) {
+            const double limit = ws.s[i] / ws.gdx[i];
             if (0.99 * limit < step) step = 0.99 * limit;
           }
         }
       }
-      const double f0 = t * objective.value(x) + barrier_value(s);
-      const double slope = linalg::dot(grad, dx);  // negative
+      const double f0 = t * objective.value(x) + barrier_value(ws.s);
+      const double slope = linalg::dot(ws.grad, ws.dx);  // negative
       bool moved = false;
       for (int ls = 0; ls < 60; ++ls) {
-        Vec x_try = x;
-        linalg::axpy(step, dx, x_try);
-        const Vec s_try = slacks(g, h, x_try);
-        if (min_slack(s_try) > 0.0) {
+        ws.x_try = x;
+        linalg::axpy(step, ws.dx, ws.x_try);
+        slacks_into(ws.x_try, ws.s_try);
+        if (min_slack(ws.s_try) > 0.0) {
           const double f_try =
-              t * objective.value(x_try) + barrier_value(s_try);
+              t * objective.value(ws.x_try) + barrier_value(ws.s_try);
           if (f_try <= f0 + options.line_search_alpha * step * slope) {
-            x = std::move(x_try);
+            x.swap(ws.x_try);
             moved = true;
             break;
           }
@@ -152,7 +203,6 @@ IpmResult solve_barrier(const ConvexObjective& objective, const Matrix& g,
         // Stuck: gradient/Hessian inconsistency at this scale. Treat the
         // current point as centered; the outer loop decides if the gap is
         // acceptable.
-        centered = true;
         break;
       }
     }
@@ -181,14 +231,35 @@ IpmResult solve_barrier(const ConvexObjective& objective, const Matrix& g,
   result.objective = objective.value(x);
   result.newton_steps = steps_used;
   // Multipliers from the last certified center (fall back to the final
-  // point when no centering ever converged).
-  const Vec& dual_point = centered_x.empty() ? x : centered_x;
-  const double dual_t = centered_x.empty() ? t : centered_t;
-  const Vec s = slacks(g, h, dual_point);
+  // point when no centering ever converged). The slack floor here matches
+  // the derivative assembly so near-active rows report consistent
+  // multipliers to the certificate machinery.
+  const Vec& dual_point = have_center ? ws.centered_x : x;
+  const double dual_t = have_center ? centered_t : t;
+  slacks_into(dual_point, ws.s);
   result.ineq_dual.assign(m, 0.0);
   for (std::size_t i = 0; i < m; ++i)
-    result.ineq_dual[i] = 1.0 / (dual_t * std::max(s[i], 1e-300));
+    result.ineq_dual[i] =
+        1.0 / (dual_t * std::max(ws.s[i], options.slack_floor));
   return result;
+}
+
+}  // namespace
+
+IpmResult solve_barrier(const ConvexObjective& objective, const Matrix& g,
+                        const Vec& h, const Vec& x0, const IpmOptions& options,
+                        IpmScratch* scratch) {
+  IpmScratch local;
+  return solve_barrier_impl(objective, DenseG{g}, h, x0, options,
+                            scratch != nullptr ? *scratch : local);
+}
+
+IpmResult solve_barrier(const ConvexObjective& objective,
+                        const SparseMatrix& g, const Vec& h, const Vec& x0,
+                        const IpmOptions& options, IpmScratch* scratch) {
+  IpmScratch local;
+  return solve_barrier_impl(objective, SparseG{g}, h, x0, options,
+                            scratch != nullptr ? *scratch : local);
 }
 
 }  // namespace sora::solver

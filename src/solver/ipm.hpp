@@ -2,7 +2,7 @@
 // over polyhedra:
 //
 //   minimize    f(x)            (f smooth, convex; value/gradient/Hessian)
-//   subject to  G x <= h        (dense constraint matrix)
+//   subject to  G x <= h        (dense or CSR constraint matrix)
 //
 // This solves the paper's regularized subproblem P2(t): f is linear
 // allocation cost plus the relative-entropy reconfiguration terms, and G/h
@@ -15,11 +15,18 @@
 // caller must supply a strictly feasible starting point (see
 // core/p2_subproblem.cpp for the even-split construction + phase-I LP
 // fallback).
+//
+// Two constraint-matrix representations share one implementation:
+//   * dense Matrix — reference path, O(m n^2) Newton assembly;
+//   * CSR SparseMatrix — fast path; the Newton system G^T diag(w) G is
+//     accumulated row by row over nonzeros only, and an IpmScratch keeps the
+//     inner Newton loop free of heap allocation across repeated solves.
 #pragma once
 
 #include <functional>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "solver/solution.hpp"
 
 namespace sora::solver {
@@ -32,6 +39,16 @@ class ConvexObjective {
   virtual double value(const linalg::Vec& x) const = 0;
   virtual linalg::Vec gradient(const linalg::Vec& x) const = 0;
   virtual linalg::Matrix hessian(const linalg::Vec& x) const = 0;
+
+  /// Allocation-free variants for the hot Newton loop; `g`/`h` are
+  /// preallocated to the right shape and must be fully overwritten.
+  /// Defaults fall back to the allocating calls.
+  virtual void gradient_into(const linalg::Vec& x, linalg::Vec& g) const {
+    g = gradient(x);
+  }
+  virtual void hessian_into(const linalg::Vec& x, linalg::Matrix& h) const {
+    h = hessian(x);
+  }
 };
 
 struct IpmOptions {
@@ -51,6 +68,11 @@ struct IpmOptions {
   double newton_tol = 1e-9;     // Newton decrement^2 / 2 threshold
   double line_search_alpha = 0.25;
   double line_search_beta = 0.5;
+  // Slack floor shared by derivative assembly AND dual recovery. A slack
+  // driven to ~1e-14 would otherwise produce ~1e28 Hessian entries, and a
+  // different floor in dual recovery would make near-active rows report
+  // inconsistent multipliers to the certificate machinery.
+  double slack_floor = 1e-12;
   bool log_progress = false;
 };
 
@@ -65,10 +87,26 @@ struct IpmResult {
   bool ok() const { return status == SolveStatus::kOptimal; }
 };
 
+/// Reusable scratch buffers for solve_barrier. Passing the same instance to
+/// repeated solves of same-shaped problems (the per-slot P2 chain) keeps the
+/// inner Newton loop free of heap allocation; buffers are (re)sized on entry.
+struct IpmScratch {
+  linalg::Vec s, inv_s, hess_w, gt_inv_s, s_try, gdx;  // m- and n-sized
+  linalg::Vec grad, dx, x_try, centered_x;
+  linalg::Matrix hess, chol;
+};
+
 /// x0 must satisfy G x0 < h strictly (checked). G is dense: rows are
-/// constraints.
+/// constraints. Reference path.
 IpmResult solve_barrier(const ConvexObjective& objective,
                         const linalg::Matrix& g, const linalg::Vec& h,
-                        const linalg::Vec& x0, const IpmOptions& options = {});
+                        const linalg::Vec& x0, const IpmOptions& options = {},
+                        IpmScratch* scratch = nullptr);
+
+/// CSR fast path: identical semantics, Newton assembly over nonzeros only.
+IpmResult solve_barrier(const ConvexObjective& objective,
+                        const linalg::SparseMatrix& g, const linalg::Vec& h,
+                        const linalg::Vec& x0, const IpmOptions& options = {},
+                        IpmScratch* scratch = nullptr);
 
 }  // namespace sora::solver

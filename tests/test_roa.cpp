@@ -111,6 +111,36 @@ TEST(Roa, TrajectoryFeasibleAndCostPositive) {
   EXPECT_GT(run.cost.allocation, 0.0);
 }
 
+TEST(Roa, WarmStartMatchesColdStartTrajectory) {
+  const Instance inst = make_instance(10, 200.0, 12);
+  RoaOptions cold;
+  cold.warm_start = false;
+  const RoaRun cold_run = run_roa(inst, cold);
+  const RoaRun warm_run = run_roa(inst);  // warm starting is the default
+
+  // Same trajectory within solver accuracy, and the per-slot timing
+  // breakdown reports the warm starts actually engaging after slot 0.
+  ASSERT_EQ(warm_run.slot_timings.size(), inst.horizon);
+  EXPECT_FALSE(warm_run.slot_timings[0].warm_started);
+  std::size_t warm_slots = 0;
+  for (std::size_t t = 1; t < inst.horizon; ++t)
+    if (warm_run.slot_timings[t].warm_started) ++warm_slots;
+  EXPECT_GE(warm_slots, inst.horizon - 2);
+  EXPECT_TRUE(is_feasible(inst, warm_run.trajectory, 1e-5));
+  EXPECT_NEAR(warm_run.cost.total(), cold_run.cost.total(),
+              1e-3 * cold_run.cost.total());
+  for (std::size_t t = 0; t < inst.horizon; ++t)
+    for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+      EXPECT_NEAR(warm_run.trajectory.slots[t].x[e],
+                  cold_run.trajectory.slots[t].x[e], 2e-3)
+          << "t=" << t;
+      EXPECT_NEAR(warm_run.trajectory.slots[t].y[e],
+                  cold_run.trajectory.slots[t].y[e], 2e-3)
+          << "t=" << t;
+    }
+  EXPECT_GT(warm_run.barrier_seconds, 0.0);
+}
+
 TEST(Roa, WithinTheoreticalRatioOnSmallInstance) {
   const Instance inst = make_instance(8, 100.0, 5);
   RoaOptions options;
