@@ -1,0 +1,64 @@
+// Throughput of the property-test pipeline: instance generation, the
+// invariant checker, and the three-backend differential oracle, per regime.
+// Keeps the cost of "hundreds of instances per commit" visible so the
+// property suite stays inside the tier-1 test budget.
+#include <chrono>
+#include <cstdio>
+
+#include "core/roa.hpp"
+#include "testing/differential.hpp"
+#include "testing/generator.hpp"
+#include "testing/invariants.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  using namespace sora;
+  const auto opts = util::Options::parse(argc, argv, {"seeds"});
+  const std::uint64_t seeds = opts.get_int("seeds", 10);
+
+  std::printf("%-20s %12s %12s %12s\n", "regime", "gen ms/inst",
+              "check ms/inst", "diff ms/inst");
+  for (const testing::Regime regime : testing::kAllRegimes) {
+    double gen_s = 0.0, check_s = 0.0, diff_s = 0.0;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      testing::GeneratorConfig cfg;
+      cfg.regime = regime;
+      cfg.seed = seed;
+
+      auto t0 = std::chrono::steady_clock::now();
+      const auto inst = testing::generate_instance(cfg);
+      gen_s += seconds_since(t0);
+
+      t0 = std::chrono::steady_clock::now();
+      const core::RoaRun run = core::run_roa(inst);
+      const auto report = testing::check_trajectory(inst, run.trajectory);
+      check_s += seconds_since(t0);
+      if (!report.ok())
+        std::printf("UNEXPECTED violation (%s): %s\n", cfg.describe().c_str(),
+                    report.summary().c_str());
+
+      t0 = std::chrono::steady_clock::now();
+      testing::DiffOptions diff;
+      diff.dump_on_failure = false;
+      const auto dr = testing::differential_roa(inst, cfg.describe(), diff);
+      diff_s += seconds_since(t0);
+      if (!dr.ok())
+        std::printf("UNEXPECTED mismatch (%s): %s\n", cfg.describe().c_str(),
+                    dr.summary().c_str());
+    }
+    const double n = static_cast<double>(seeds);
+    std::printf("%-20s %12.3f %12.3f %12.3f\n", testing::regime_name(regime),
+                1e3 * gen_s / n, 1e3 * check_s / n, 1e3 * diff_s / n);
+  }
+  return 0;
+}

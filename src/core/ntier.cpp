@@ -285,6 +285,21 @@ struct InputsView {
   }
 };
 
+// A commodity with positive demand but no admissible links (a dead-end
+// tier-0 node, or one cut off from the top tier) makes every formulation
+// infeasible; fail with a structural message instead of a solver error.
+// Mirrors the two-tier empty-SLA-group guard in p2_subproblem.cpp.
+void check_demand_reachable(const NTierInstance& inst, const Vec& demand_row,
+                            std::size_t t) {
+  for (std::size_t j = 0; j < inst.num_demands(); ++j) {
+    SORA_CHECK_MSG(
+        demand_row[j] <= 0.0 || !inst.admissible_links(j).empty(),
+        "tier-0 node " + std::to_string(j) +
+            " has no admissible links but positive demand at t=" +
+            std::to_string(t) + ": the n-tier problem is infeasible");
+  }
+}
+
 // Window LP over [t0, t1). Layout per slot: [f | x | y | u | w]. When
 // `terminal` is set, the final slot's resources are pinned to it.
 NTierTrajectory solve_ntier_window(const NTierInstance& inst,
@@ -298,6 +313,8 @@ NTierTrajectory solve_ntier_window(const NTierInstance& inst,
   const std::size_t L = inst.num_links();
   const std::size_t stride = fidx.count + 2 * V + 2 * L;
   const std::size_t window = t1 - t0;
+  for (std::size_t t = t0; t < t1; ++t)
+    check_demand_reachable(inst, view.demand_row(t), t);
 
   LpBuilder b;
   for (std::size_t rel = 0; rel < window; ++rel) {
@@ -567,10 +584,15 @@ class NTierSlotSolver {
   NTierAllocation solve(const InputsView& view, std::size_t t,
                         const NTierAllocation& prev) {
     const Vec demand_row = view.demand_row(t);
+    check_demand_reachable(inst_, demand_row, t);
     for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
       price_row_[v] = view.price(t, v);
     for (std::size_t j = 0; j < inst_.num_demands(); ++j)
-      h_[coverage_h_[j]] = -demand_row[j];
+      // A linkless commodity's coverage row has no flow variables, so
+      // "0 >= 0" would leave the barrier without a strict interior. Its
+      // demand is zero (check_demand_reachable above); relax the empty row.
+      h_[coverage_h_[j]] =
+          fidx_.link_of[j].empty() ? 1.0 : -demand_row[j];
 
     const NTierP2Objective objective(inst_, price_row_, prev, options_,
                                      fidx_.count);

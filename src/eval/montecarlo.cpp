@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sora::eval {
@@ -34,9 +35,14 @@ SeedStats sweep_seeds(
     const std::function<double(const core::Instance&)>& metric) {
   SORA_CHECK(num_seeds > 0);
   std::vector<double> values(num_seeds, 0.0);
+  // Child-stream derivation: sweep point k's seed depends only on
+  // (base.seed, k), so parallel execution order cannot change results and
+  // distinct base seeds never collide (the old base + 1000*(k+1) arithmetic
+  // did for bases 1000 apart).
+  const util::Rng master(base.seed);
   util::parallel_for(0, num_seeds, [&](std::size_t k) {
     Scenario sc = base;
-    sc.seed = base.seed + 1000 * (k + 1);
+    sc.seed = master.child(k).seed();
     const core::Instance inst = build_eval_instance(sc, scale);
     values[k] = metric(inst);
   });

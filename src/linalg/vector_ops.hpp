@@ -71,4 +71,13 @@ inline double sum(const Vec& x) {
   return acc;
 }
 
+/// max_i |a_i - b_i| — the agreement metric of the differential tests.
+inline double max_abs_diff(const Vec& a, const Vec& b) {
+  SORA_DCHECK(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
 }  // namespace sora::linalg

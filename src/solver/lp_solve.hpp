@@ -23,6 +23,20 @@ struct LpSolveOptions {
 
 LpSolution solve_lp(const LpModel& model, const LpSolveOptions& options = {});
 
+/// Both backends' answers on one model, for differential comparison.
+struct LpCrossCheck {
+  LpSolution simplex;
+  LpSolution pdhg;
+  /// |obj_simplex - obj_pdhg| / (1 + |obj_simplex| + |obj_pdhg|).
+  double objective_gap = 0.0;
+};
+
+/// Solve with both methods (throws if either fails). The testing
+/// differential oracle compares the full solutions; cross_check_gap below
+/// remains the scalar convenience wrapper.
+LpCrossCheck cross_check(const LpModel& model,
+                         const LpSolveOptions& options = {});
+
 /// Solve with both methods and return the worse relative objective gap
 /// between them (used by tests; throws if either solver fails).
 double cross_check_gap(const LpModel& model, const LpSolveOptions& options = {});

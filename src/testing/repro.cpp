@@ -1,0 +1,202 @@
+#include "testing/repro.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sora::testing {
+namespace {
+
+constexpr int kVersion = 1;
+
+void write_vec(std::ostream& os, const char* key,
+               const std::vector<double>& v) {
+  os << key << ' ' << v.size();
+  for (const double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+void write_series(std::ostream& os, const char* key,
+                  const std::vector<std::vector<double>>& rows) {
+  os << key << ' ' << rows.size() << '\n';
+  for (const auto& row : rows) {
+    os << ' ' << row.size();
+    for (const double x : row) os << ' ' << x;
+    os << '\n';
+  }
+}
+
+// Token reader that skips '#' comment lines between tokens.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : in_(text) {}
+
+  std::string token() {
+    std::string t;
+    while (in_ >> t) {
+      if (t[0] == '#') {
+        std::string rest;
+        std::getline(in_, rest);
+        continue;
+      }
+      return t;
+    }
+    SORA_CHECK_MSG(false, "sora-repro: unexpected end of input");
+  }
+
+  void expect(const std::string& key) {
+    const std::string t = token();
+    SORA_CHECK_MSG(t == key,
+                   "sora-repro: expected '" + key + "', got '" + t + "'");
+  }
+
+  std::size_t count() {
+    return static_cast<std::size_t>(std::stoull(token()));
+  }
+
+  double number() { return std::stod(token()); }
+
+  std::vector<double> vec(const std::string& key) {
+    expect(key);
+    std::vector<double> v(count());
+    for (double& x : v) x = number();
+    return v;
+  }
+
+  std::vector<std::vector<double>> series(const std::string& key) {
+    expect(key);
+    std::vector<std::vector<double>> rows(count());
+    for (auto& row : rows) {
+      row.resize(count());
+      for (double& x : row) x = number();
+    }
+    return rows;
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+}  // namespace
+
+std::string serialize_instance(const cloudnet::Instance& inst,
+                               const std::string& context) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "sora-repro " << kVersion << '\n';
+  std::istringstream ctx(context);
+  for (std::string line; std::getline(ctx, line);) os << "# " << line << '\n';
+  os << "shape " << inst.num_tier1() << ' ' << inst.num_tier2() << ' '
+     << inst.horizon << ' ' << inst.num_edges() << ' '
+     << (inst.has_tier1() ? 1 : 0) << '\n';
+  os << "edges";
+  for (const auto& e : inst.edges) os << ' ' << e.tier1 << ' ' << e.tier2;
+  os << '\n';
+  write_vec(os, "edge_price", inst.edge_price);
+  write_vec(os, "edge_reconfig", inst.edge_reconfig);
+  write_vec(os, "edge_capacity", inst.edge_capacity);
+  write_vec(os, "tier2_reconfig", inst.tier2_reconfig);
+  write_vec(os, "tier2_capacity", inst.tier2_capacity);
+  write_series(os, "tier2_price", inst.tier2_price);
+  write_series(os, "demand", inst.demand);
+  if (inst.has_tier1()) {
+    write_vec(os, "tier1_capacity", inst.tier1_capacity);
+    write_vec(os, "tier1_reconfig", inst.tier1_reconfig);
+    write_series(os, "tier1_price", inst.tier1_price);
+  }
+  return os.str();
+}
+
+cloudnet::Instance parse_instance(const std::string& text) {
+  Reader r(text);
+  r.expect("sora-repro");
+  const std::size_t version = r.count();
+  SORA_CHECK_MSG(version == kVersion,
+                 "sora-repro: unsupported version " + std::to_string(version));
+
+  cloudnet::Instance inst;
+  r.expect("shape");
+  const std::size_t J = r.count();
+  const std::size_t I = r.count();
+  inst.horizon = r.count();
+  const std::size_t E = r.count();
+  const bool with_tier1 = r.count() != 0;
+
+  inst.tier1_sites.resize(J);
+  inst.tier2_sites.resize(I);
+  for (std::size_t j = 0; j < J; ++j)
+    inst.tier1_sites[j].name = "t1_" + std::to_string(j);
+  for (std::size_t i = 0; i < I; ++i)
+    inst.tier2_sites[i].name = "t2_" + std::to_string(i);
+
+  r.expect("edges");
+  inst.edges.resize(E);
+  inst.edges_of_tier1.assign(J, {});
+  inst.edges_of_tier2.assign(I, {});
+  for (std::size_t e = 0; e < E; ++e) {
+    inst.edges[e].tier1 = r.count();
+    inst.edges[e].tier2 = r.count();
+    SORA_CHECK_MSG(inst.edges[e].tier1 < J && inst.edges[e].tier2 < I,
+                   "sora-repro: edge endpoint out of range");
+    inst.edges_of_tier1[inst.edges[e].tier1].push_back(e);
+    inst.edges_of_tier2[inst.edges[e].tier2].push_back(e);
+  }
+  inst.edge_price = r.vec("edge_price");
+  inst.edge_reconfig = r.vec("edge_reconfig");
+  inst.edge_capacity = r.vec("edge_capacity");
+  inst.tier2_reconfig = r.vec("tier2_reconfig");
+  inst.tier2_capacity = r.vec("tier2_capacity");
+  inst.tier2_price = r.series("tier2_price");
+  inst.demand = r.series("demand");
+  if (with_tier1) {
+    inst.tier1_capacity = r.vec("tier1_capacity");
+    inst.tier1_reconfig = r.vec("tier1_reconfig");
+    inst.tier1_price = r.series("tier1_price");
+  }
+
+  SORA_CHECK_MSG(inst.edge_price.size() == E &&
+                     inst.edge_reconfig.size() == E &&
+                     inst.edge_capacity.size() == E &&
+                     inst.tier2_reconfig.size() == I &&
+                     inst.tier2_capacity.size() == I &&
+                     inst.tier2_price.size() == inst.horizon &&
+                     inst.demand.size() == inst.horizon,
+                 "sora-repro: field sizes inconsistent with shape");
+  return inst;
+}
+
+void dump_instance(const cloudnet::Instance& inst, const std::string& path,
+                   const std::string& context) {
+  std::ofstream out(path);
+  SORA_CHECK_MSG(out.good(), "sora-repro: cannot write " + path);
+  out << serialize_instance(inst, context);
+  SORA_CHECK_MSG(out.good(), "sora-repro: write failed for " + path);
+}
+
+cloudnet::Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  SORA_CHECK_MSG(in.good(), "sora-repro: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_instance(buf.str());
+}
+
+std::string default_repro_path(const std::string& label) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("SORA_REPRO_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  std::string safe;
+  for (const char c : label) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '-' || c == '_' || c == '.';
+    safe.push_back(ok ? c : '-');
+  }
+  return dir + "/sora-repro-" + safe + ".txt";
+}
+
+}  // namespace sora::testing

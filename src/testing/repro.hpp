@@ -1,0 +1,40 @@
+// Repro-instance serialization for the property/differential test harness.
+//
+// When a differential or invariant check fails on a generated instance, the
+// harness dumps the instance to a small self-contained text file so the
+// failure can be replayed exactly (see docs/TESTING.md). The format stores
+// every numeric field of cloudnet::Instance at full precision; site metadata
+// (names, coordinates) plays no role in any solve and is replaced by
+// placeholders on load.
+#pragma once
+
+#include <string>
+
+#include "cloudnet/instance.hpp"
+
+namespace sora::testing {
+
+/// Versioned text encoding of every solver-relevant Instance field.
+/// `context` (failure description, generator seed, ...) is embedded as
+/// comment lines.
+std::string serialize_instance(const cloudnet::Instance& inst,
+                               const std::string& context = {});
+
+/// Inverse of serialize_instance. Throws util::CheckError on malformed
+/// input or version mismatch.
+cloudnet::Instance parse_instance(const std::string& text);
+
+/// Write the instance to `path` (serialize_instance format). Throws
+/// util::CheckError if the file cannot be written.
+void dump_instance(const cloudnet::Instance& inst, const std::string& path,
+                   const std::string& context = {});
+
+/// Load a dumped instance from `path` for replay.
+cloudnet::Instance load_instance(const std::string& path);
+
+/// Where dumps land: $SORA_REPRO_DIR when set, else the current directory.
+/// The file name is "sora-repro-<label>.txt" with non-filename characters
+/// in `label` replaced by '-'.
+std::string default_repro_path(const std::string& label);
+
+}  // namespace sora::testing

@@ -22,7 +22,7 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& s : state_) s = splitmix64(sm);
 }
@@ -94,6 +94,18 @@ double Rng::exponential(double lambda) {
 }
 
 Rng Rng::split() { return Rng(next_u64()); }
+
+Rng Rng::child(std::uint64_t stream) const {
+  // Two splitmix64 rounds over (seed, stream). The first decorrelates the
+  // master seed, the second folds in the stream index, so child seeds of
+  // nearby (seed, stream) pairs share no structure and never collide with
+  // the master's own state expansion.
+  std::uint64_t x = seed_;
+  std::uint64_t mixed = splitmix64(x);
+  x = mixed ^ (stream + 0x6A09E667F3BCC909ULL);  // sqrt(2) fractional bits
+  mixed = splitmix64(x);
+  return Rng(mixed);
+}
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> p(n);

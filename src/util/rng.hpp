@@ -39,12 +39,26 @@ class Rng {
   double exponential(double lambda);
 
   /// Derive an independent stream (e.g., one per sweep point) from this one.
+  /// Consumes one draw, so the child depends on how much of this stream has
+  /// been used. For order-independent derivation use child().
   Rng split();
+
+  /// Derive the `stream`-th child stream from this generator's seed only.
+  /// Unlike split(), the result does not depend on consumption: child(k) is
+  /// the same generator whether called before or after any draws, so
+  /// parallel workers indexed by k are reproducible from one printed master
+  /// seed. Distinct streams are statistically independent (splitmix64-mixed).
+  Rng child(std::uint64_t stream) const;
+
+  /// The seed this generator was constructed from (master seed of its
+  /// children). Reported by harnesses so failures can be replayed.
+  std::uint64_t seed() const { return seed_; }
 
   /// Fisher–Yates shuffle of indices [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
 
  private:
+  std::uint64_t seed_ = 0;
   std::uint64_t state_[4];
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;

@@ -1,0 +1,203 @@
+// Invariant checker over generated instances: every ROA chain must satisfy
+// the paper's constraints ((1a)-(1d), (3a)-(3f), transfer rows, Theorem 1),
+// and deliberately injected perturbations must be caught (mutation
+// smoke-checks — a checker that never fires is no checker).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/competitive.hpp"
+#include "core/p2_subproblem.hpp"
+#include "core/roa.hpp"
+#include "testing/generator.hpp"
+#include "testing/invariants.hpp"
+
+namespace sora::testing {
+namespace {
+
+using core::Allocation;
+using core::InputSeries;
+using core::Trajectory;
+
+bool mentions(const InvariantReport& report, const std::string& needle) {
+  for (const auto& v : report.violations)
+    if (v.invariant.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+// Run the P2(t) chain slot by slot so each slot's P2Solution is visible to
+// check_p2_solution; the assembled trajectory then goes through the P1
+// checker. This is the same chain run_roa drives internally.
+TEST(PropertyInvariants, RoaChainsSatisfyPaperConstraints) {
+  constexpr std::uint64_t kSeedsPerRegime = 12;
+  for (const Regime regime : kAllRegimes) {
+    for (std::uint64_t seed = 1; seed <= kSeedsPerRegime; ++seed) {
+      GeneratorConfig cfg;
+      cfg.regime = regime;
+      cfg.seed = seed;
+      SCOPED_TRACE(cfg.describe());
+      const auto inst = generate_instance(cfg);
+      const InputSeries inputs = InputSeries::truth(inst);
+
+      core::P2Workspace ws(inst);
+      Allocation prev = Allocation::zeros(inst.num_edges());
+      Trajectory traj;
+      for (std::size_t t = 0; t < inst.horizon; ++t) {
+        const core::P2Solution sol = ws.solve(inputs, t, prev);
+        const InvariantReport p2 = check_p2_solution(inst, inputs, t, sol);
+        EXPECT_TRUE(p2.ok()) << "P2(" << t << "):\n" << p2.summary();
+        traj.slots.push_back(sol.alloc);
+        prev = sol.alloc;
+      }
+      const InvariantReport p1 = check_trajectory(inst, traj);
+      EXPECT_TRUE(p1.ok()) << p1.summary();
+    }
+  }
+}
+
+TEST(PropertyInvariants, Theorem1HoldsAcrossRegimes) {
+  const Regime regimes[] = {Regime::kSmooth, Regime::kSpiky,
+                            Regime::kCapacitySaturated,
+                            Regime::kDegeneratePrices};
+  for (const Regime regime : regimes) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      GeneratorConfig cfg;
+      cfg.regime = regime;
+      cfg.seed = seed;
+      SCOPED_TRACE(cfg.describe());
+      const auto inst = generate_instance(cfg);
+      core::RoaOptions opt;
+      const core::RoaRun run = core::run_roa(inst, opt);
+      const RatioCheck check =
+          check_theorem1(inst, run, opt.eps, opt.eps_prime);
+      EXPECT_TRUE(check.within_bound)
+          << "online " << check.online_cost << " > r * offline = "
+          << check.theoretical_ratio << " * " << check.offline_cost;
+      EXPECT_TRUE(check.offline_is_lower)
+          << "online " << check.online_cost << " beat the offline optimum "
+          << check.offline_cost;
+      if (check.offline_cost > 0.0) {
+        EXPECT_GE(check.empirical_ratio, 1.0 - 1e-4);
+        EXPECT_LE(check.empirical_ratio, check.theoretical_ratio + 1e-4);
+      }
+    }
+  }
+}
+
+class MutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig cfg;
+    cfg.regime = Regime::kSmooth;
+    cfg.seed = 1;
+    inst_ = generate_instance(cfg);
+    run_ = core::run_roa(inst_);
+    ASSERT_TRUE(check_trajectory(inst_, run_.trajectory).ok());
+    // A slot/cloud with positive demand, so coverage cuts are detectable.
+    for (std::size_t t = 0; t < inst_.horizon && !found_; ++t)
+      for (std::size_t j = 0; j < inst_.num_tier1() && !found_; ++j)
+        if (inst_.demand[t][j] > 1e-6) {
+          slot_ = t;
+          found_ = true;
+        }
+    ASSERT_TRUE(found_) << "smooth regime produced an all-zero demand matrix";
+  }
+
+  cloudnet::Instance inst_;
+  core::RoaRun run_;
+  std::size_t slot_ = 0;
+  bool found_ = false;
+};
+
+TEST_F(MutationTest, CoverageCutIsCaught) {
+  Trajectory traj = run_.trajectory;
+  for (auto& v : traj.slots[slot_].x) v = 0.0;
+  const auto report = check_trajectory(inst_, traj);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "coverage(1a)")) << report.summary();
+}
+
+TEST_F(MutationTest, EdgeCapacityBustIsCaught) {
+  Trajectory traj = run_.trajectory;
+  traj.slots[slot_].y[0] = inst_.edge_capacity[0] + 5.0;
+  const auto report = check_trajectory(inst_, traj);
+  EXPECT_TRUE(mentions(report, "edge-capacity(1c)")) << report.summary();
+}
+
+TEST_F(MutationTest, Tier2CapacityBustIsCaught) {
+  Trajectory traj = run_.trajectory;
+  traj.slots[slot_].x[0] += inst_.tier2_capacity[inst_.edges[0].tier2] + 1.0;
+  const auto report = check_trajectory(inst_, traj);
+  EXPECT_TRUE(mentions(report, "tier2-capacity(1b)")) << report.summary();
+}
+
+TEST_F(MutationTest, NegativityIsCaught) {
+  Trajectory traj = run_.trajectory;
+  traj.slots[slot_].x[0] = -1.0;
+  const auto report = check_trajectory(inst_, traj);
+  EXPECT_TRUE(mentions(report, "nonnegativity(1e)")) << report.summary();
+}
+
+TEST_F(MutationTest, NonFiniteIsCaught) {
+  Trajectory traj = run_.trajectory;
+  traj.slots[slot_].y[0] = std::numeric_limits<double>::quiet_NaN();
+  const auto report = check_trajectory(inst_, traj);
+  EXPECT_TRUE(mentions(report, "finite")) << report.summary();
+}
+
+TEST_F(MutationTest, HorizonMismatchIsCaught) {
+  Trajectory traj = run_.trajectory;
+  traj.slots.pop_back();
+  const auto report = check_trajectory(inst_, traj);
+  EXPECT_TRUE(mentions(report, "horizon")) << report.summary();
+}
+
+TEST_F(MutationTest, P2AuxiliaryViolationIsCaught) {
+  const InputSeries inputs = InputSeries::truth(inst_);
+  core::P2Solution sol = core::solve_p2(
+      inst_, inputs, slot_, Allocation::zeros(inst_.num_edges()));
+  ASSERT_TRUE(check_p2_solution(inst_, inputs, slot_, sol).ok());
+
+  core::P2Solution bad = sol;
+  bad.s[0] = bad.alloc.x[0] + 1.0;  // s above x breaks (3a)
+  EXPECT_TRUE(
+      mentions(check_p2_solution(inst_, inputs, slot_, bad), "(3a)"));
+
+  bad = sol;
+  bad.s[0] = -0.5;
+  EXPECT_TRUE(mentions(check_p2_solution(inst_, inputs, slot_, bad),
+                       "nonnegativity(3f)"));
+
+  // Cut every s of a positive-demand cloud: (3c) must fire.
+  bad = sol;
+  std::size_t j_pos = 0;
+  for (std::size_t j = 0; j < inst_.num_tier1(); ++j)
+    if (inst_.demand[slot_][j] > 1e-6) j_pos = j;
+  for (const std::size_t e : inst_.edges_of_tier1[j_pos]) bad.s[e] = 0.0;
+  EXPECT_TRUE(
+      mentions(check_p2_solution(inst_, inputs, slot_, bad), "(3c)"));
+}
+
+TEST_F(MutationTest, Theorem1ViolationsAreCaught) {
+  core::RoaOptions opt;
+  // Inflate the realized cost far past the competitive bound.
+  core::RoaRun bloated = run_;
+  const double r = core::theoretical_ratio(inst_, opt.eps, opt.eps_prime);
+  bloated.cost.allocation = (r * 10.0 + 10.0) * (run_.cost.total() + 1.0);
+  EXPECT_FALSE(
+      check_theorem1(inst_, bloated, opt.eps, opt.eps_prime).within_bound);
+
+  // A "cheaper than offline optimal" run means broken accounting.
+  core::RoaRun impossible = run_;
+  impossible.cost.allocation = 0.0;
+  impossible.cost.reconfiguration = 0.0;
+  const RatioCheck check =
+      check_theorem1(inst_, impossible, opt.eps, opt.eps_prime);
+  ASSERT_GT(check.offline_cost, 0.0);
+  EXPECT_FALSE(check.offline_is_lower);
+}
+
+}  // namespace
+}  // namespace sora::testing

@@ -1,0 +1,80 @@
+// Property checks on generated n-tier instances: ROA trajectories must be
+// slot-feasible (ntier_slot_violation == 0 up to solver tolerance), cost at
+// least the offline optimum, and degenerate regimes must not crash the
+// layered-DAG pipeline.
+#include <gtest/gtest.h>
+
+#include "core/ntier.hpp"
+#include "testing/generator.hpp"
+
+namespace sora::testing {
+namespace {
+
+constexpr double kFeasTol = 1e-5;
+
+TEST(PropertyNTier, RoaIsFeasibleAndAboveOfflineAcrossRegimes) {
+  constexpr std::uint64_t kSeedsPerRegime = 5;
+  for (const Regime regime : kAllRegimes) {
+    for (std::uint64_t seed = 1; seed <= kSeedsPerRegime; ++seed) {
+      GeneratorConfig cfg;
+      cfg.regime = regime;
+      cfg.seed = seed;
+      SCOPED_TRACE(cfg.describe());
+      const core::NTierInstance inst = generate_ntier_instance(cfg);
+
+      const core::NTierTrajectory online = core::run_ntier_roa(inst);
+      ASSERT_EQ(online.slots.size(), inst.horizon);
+      for (std::size_t t = 0; t < inst.horizon; ++t)
+        EXPECT_LE(core::ntier_slot_violation(inst, t, online.slots[t]),
+                  kFeasTol)
+            << "slot " << t;
+
+      const core::NTierTrajectory offline = core::run_ntier_offline(inst);
+      const double online_cost = core::ntier_total_cost(inst, online);
+      const double offline_cost = core::ntier_total_cost(inst, offline);
+      EXPECT_GE(online_cost, offline_cost - 1e-4 * (1.0 + offline_cost));
+    }
+  }
+}
+
+TEST(PropertyNTier, GreedyIsFeasibleOnDegenerateRegimes) {
+  const Regime regimes[] = {Regime::kZeroDemand, Regime::kEmptySlaGroups,
+                            Regime::kDegeneratePrices};
+  for (const Regime regime : regimes) {
+    GeneratorConfig cfg;
+    cfg.regime = regime;
+    cfg.seed = 2;
+    SCOPED_TRACE(cfg.describe());
+    const core::NTierInstance inst = generate_ntier_instance(cfg);
+    const core::NTierTrajectory greedy = core::run_ntier_greedy(inst);
+    for (std::size_t t = 0; t < inst.horizon; ++t)
+      EXPECT_LE(core::ntier_slot_violation(inst, t, greedy.slots[t]),
+                kFeasTol)
+          << "slot " << t;
+  }
+}
+
+TEST(PropertyNTier, SlotViolationDetectsStarvedAllocation) {
+  // The feasibility probe itself must fire when resources are cut — the
+  // n-tier analogue of the two-tier mutation smoke-check.
+  GeneratorConfig cfg;
+  cfg.regime = Regime::kSmooth;
+  cfg.seed = 1;
+  const core::NTierInstance inst = generate_ntier_instance(cfg);
+  std::size_t slot = inst.horizon;
+  for (std::size_t t = 0; t < inst.horizon && slot == inst.horizon; ++t)
+    for (std::size_t j = 0; j < inst.num_demands(); ++j)
+      if (inst.demand[t][j] > 1e-6) {
+        slot = t;
+        break;
+      }
+  ASSERT_LT(slot, inst.horizon) << "smooth n-tier instance has zero demand";
+
+  core::NTierAllocation starved;
+  starved.node = linalg::Vec(inst.num_nodes(), 0.0);
+  starved.link = linalg::Vec(inst.num_links(), 0.0);
+  EXPECT_GT(core::ntier_slot_violation(inst, slot, starved), kFeasTol);
+}
+
+}  // namespace
+}  // namespace sora::testing
