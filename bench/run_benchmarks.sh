@@ -4,11 +4,29 @@
 #
 #   bench/run_benchmarks.sh --benchmark_filter='BM_P2Solve.*'
 #
+# Observability: the sora_obs flags below are translated into the SORA_*
+# environment contract (see docs/OBSERVABILITY.md) so any bench binary picks
+# them up without per-binary flag plumbing:
+#
+#   --metrics-out=FILE     export the metrics registry to FILE at exit
+#   --metrics-format=FMT   text|prom|json (default: by FILE extension)
+#   --trace-out=FILE       export a Chrome trace-event JSON to FILE at exit
+#
 # Set SORA_NATIVE=ON in the environment to benchmark with -march=native.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-bench}"
+
+FORWARDED=()
+for arg in "$@"; do
+  case "$arg" in
+    --metrics-out=*) export SORA_METRICS="${arg#--metrics-out=}" ;;
+    --metrics-format=*) export SORA_METRICS_FORMAT="${arg#--metrics-format=}" ;;
+    --trace-out=*) export SORA_TRACE="${arg#--trace-out=}" ;;
+    *) FORWARDED+=("$arg") ;;
+  esac
+done
 
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=Release \
@@ -19,4 +37,4 @@ cmake --build "$BUILD_DIR" --target bench_solver_micro -j "$(nproc)"
   --benchmark_format=json \
   --benchmark_out="$ROOT/BENCH_solver.json" \
   --benchmark_out_format=json \
-  "$@"
+  ${FORWARDED[@]+"${FORWARDED[@]}"}

@@ -6,6 +6,7 @@
 
 #include "core/regularizer.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 #include "solver/ipm.hpp"
 #include "util/check.hpp"
 
@@ -583,6 +584,7 @@ class NTierSlotSolver {
 
   NTierAllocation solve(const InputsView& view, std::size_t t,
                         const NTierAllocation& prev) {
+    SORA_TRACE_SPAN("ntier/slot");
     const Vec demand_row = view.demand_row(t);
     check_demand_reachable(inst_, demand_row, t);
     for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
@@ -747,13 +749,17 @@ class NTierSlotSolver {
 NTierTrajectory run_ntier_roa(const NTierInstance& inst,
                               const NTierRoaOptions& options,
                               const NTierInputs* inputs) {
+  SORA_TRACE_SPAN("ntier/run");
   const InputsView view{inst, inputs};
   NTierSlotSolver solver(inst, options);
   NTierTrajectory traj;
   NTierAllocation prev{Vec(inst.num_nodes(), 0.0), Vec(inst.num_links(), 0.0)};
+  static obs::Counter* slots = &obs::Registry::global().counter(
+      "sora_ntier_slots_total", "N-tier ROA slots solved");
   for (std::size_t t = 0; t < inst.horizon; ++t) {
     prev = solver.solve(view, t, prev);
     traj.slots.push_back(prev);
+    if (obs::metrics_enabled()) slots->inc();
   }
   return traj;
 }

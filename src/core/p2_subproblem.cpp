@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/cost.hpp"
 #include "core/regularizer.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 #include "solver/simplex.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -17,6 +19,40 @@ namespace {
 using linalg::Matrix;
 using linalg::SparseMatrix;
 using solver::kInf;
+
+// Handles resolved once; see Registry docs for the naming scheme.
+struct P2Metrics {
+  obs::Histogram* build_seconds;
+  obs::Histogram* barrier_seconds;
+  obs::Counter* warm_starts;
+  obs::Counter* cold_starts;
+};
+
+const P2Metrics& p2_metrics() {
+  static const P2Metrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    auto seconds_buckets = [] { return obs::exponential_buckets(1e-6, 4.0, 14); };
+    return P2Metrics{
+        &reg.histogram("sora_p2_build_seconds", "seconds",
+                       "P2 model build time per slot", seconds_buckets()),
+        &reg.histogram("sora_p2_barrier_seconds", "seconds",
+                       "P2 barrier solve time per slot", seconds_buckets()),
+        &reg.counter("sora_p2_warm_starts_total",
+                     "P2 solves started from the previous slot's optimum"),
+        &reg.counter("sora_p2_cold_starts_total",
+                     "P2 solves started from scratch"),
+    };
+  }();
+  return metrics;
+}
+
+void observe_p2_timing(const P2Timing& timing) {
+  if (!obs::metrics_enabled()) return;
+  const P2Metrics& metrics = p2_metrics();
+  metrics.build_seconds->observe(timing.build_seconds);
+  metrics.barrier_seconds->observe(timing.solve_seconds);
+  (timing.warm_started ? metrics.warm_starts : metrics.cold_starts)->inc();
+}
 
 // Variable layout: [x_e (E) | y_e (E) | s_e (E)] (+ [z_e (E)] with F_1).
 struct Layout {
@@ -398,15 +434,26 @@ P2Solution solve_p2_dense(const Instance& inst, const InputSeries& inputs,
   SORA_CHECK(prev.x.size() == inst.num_edges());
   const Layout layout = layout_for(inst);
 
-  util::Timer timer;
-  const P2Objective objective(inst, inputs, t, prev, options);
-  const P2Constraints cons = build_constraints(inst, inputs, t);
-  const Vec start = p2_strictly_feasible_point(inst, inputs, t);
-  const double build_seconds = timer.seconds();
+  double build_seconds = 0.0;
+  double barrier_seconds = 0.0;
+  std::optional<P2Objective> objective;
+  P2Constraints cons;
+  Vec start;
+  {
+    SORA_TRACE_SPAN("p2/build");
+    util::ScopedTimer build_timer(&build_seconds);
+    objective.emplace(inst, inputs, t, prev, options);
+    cons = build_constraints(inst, inputs, t);
+    start = p2_strictly_feasible_point(inst, inputs, t);
+  }
 
-  timer.reset();
-  const auto result =
-      solver::solve_barrier(objective, cons.g, cons.h, start, options.ipm);
+  solver::IpmResult result;
+  {
+    SORA_TRACE_SPAN("p2/barrier");
+    util::ScopedTimer solve_timer(&barrier_seconds);
+    result =
+        solver::solve_barrier(*objective, cons.g, cons.h, start, options.ipm);
+  }
   SORA_CHECK_MSG(result.ok(),
                  "P2 barrier solve failed at t=" + std::to_string(t) + ": " +
                      result.detail);
@@ -414,9 +461,10 @@ P2Solution solve_p2_dense(const Instance& inst, const InputSeries& inputs,
   P2Solution out;
   extract_primal(layout, result, out);
   out.timing.build_seconds = build_seconds;
-  out.timing.solve_seconds = timer.seconds();
+  out.timing.solve_seconds = barrier_seconds;
   out.timing.newton_steps = result.newton_steps;
   out.timing.warm_started = false;
+  observe_p2_timing(out.timing);
 
   // Recover the named KKT multipliers for the certificate machinery.
   const auto pick = [&result](const std::vector<std::size_t>& row_of,
@@ -822,23 +870,30 @@ struct P2Workspace::Impl {
       return solve_p2_dense(inst, inputs, t, prev, options);
     }
 
-    util::Timer timer;
-    patch_slot(inputs, t);
-    objective.begin_slot(inputs, t, prev);
-    const bool warm = compute_start(inputs, t);
-
+    double build_seconds = 0.0;
+    double barrier_seconds = 0.0;
+    bool warm = false;
     solver::IpmOptions ipm = options.ipm;
-    if (warm) {
-      // Near-optimal starts waste outer iterations re-centering at small t:
-      // jump the barrier multiplier so the first center is already within a
-      // modest gap of the warm point.
-      ipm.t0 = std::max(ipm.t0, static_cast<double>(g.rows()) / 1e-2);
+    {
+      SORA_TRACE_SPAN("p2/build");
+      util::ScopedTimer build_timer(&build_seconds);
+      patch_slot(inputs, t);
+      objective.begin_slot(inputs, t, prev);
+      warm = compute_start(inputs, t);
+      if (warm) {
+        // Near-optimal starts waste outer iterations re-centering at small
+        // t: jump the barrier multiplier so the first center is already
+        // within a modest gap of the warm point.
+        ipm.t0 = std::max(ipm.t0, static_cast<double>(g.rows()) / 1e-2);
+      }
     }
-    const double build_seconds = timer.seconds();
 
-    timer.reset();
-    const auto result =
-        solver::solve_barrier(objective, g, h, start, ipm, &scratch);
+    solver::IpmResult result;
+    {
+      SORA_TRACE_SPAN("p2/barrier");
+      util::ScopedTimer solve_timer(&barrier_seconds);
+      result = solver::solve_barrier(objective, g, h, start, ipm, &scratch);
+    }
     SORA_CHECK_MSG(result.ok(),
                    "P2 barrier solve failed at t=" + std::to_string(t) +
                        ": " + result.detail);
@@ -846,9 +901,10 @@ struct P2Workspace::Impl {
     P2Solution out;
     extract_primal(layout, result, out);
     out.timing.build_seconds = build_seconds;
-    out.timing.solve_seconds = timer.seconds();
+    out.timing.solve_seconds = barrier_seconds;
     out.timing.newton_steps = result.newton_steps;
     out.timing.warm_started = warm;
+    observe_p2_timing(out.timing);
 
     // Named KKT multipliers; disabled conditional rows report zero.
     const std::size_t E = layout.num_edges;

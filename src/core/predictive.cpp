@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/cost.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +58,7 @@ Allocation repair_allocation(const Instance& inst, std::size_t t,
                              const Allocation& planned,
                              const solver::LpSolveOptions& lp,
                              bool* repaired) {
+  SORA_TRACE_SPAN("predictive/repair");
   if (repaired != nullptr) *repaired = false;
   const bool with_z = inst.has_tier1();
   const auto covered_base = [&](std::size_t e) {
@@ -177,9 +179,18 @@ struct Applier {
   }
 
   void apply(std::size_t t, const Allocation& planned) {
+    SORA_TRACE_SPAN("predictive/apply_slot");
     bool repaired = false;
     Allocation final_alloc = repair_allocation(inst, t, planned, lp, &repaired);
-    if (repaired) ++run.repairs;
+    if (repaired) {
+      ++run.repairs;
+      if (obs::metrics_enabled()) {
+        static obs::Counter* repairs = &obs::Registry::global().counter(
+            "sora_predictive_repairs_total",
+            "Slots whose planned allocation needed an LP repair");
+        repairs->inc();
+      }
+    }
     prev = final_alloc;
     run.trajectory.slots.push_back(std::move(final_alloc));
   }

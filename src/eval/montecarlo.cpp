@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -34,6 +35,9 @@ SeedStats sweep_seeds(
     const Scenario& base, const EvalScale& scale, std::size_t num_seeds,
     const std::function<double(const core::Instance&)>& metric) {
   SORA_CHECK(num_seeds > 0);
+  SORA_TRACE_SPAN("montecarlo/sweep_seeds");
+  static obs::Counter* seeds_evaluated = &obs::Registry::global().counter(
+      "sora_montecarlo_seeds_total", "Seed evaluations across all sweeps");
   std::vector<double> values(num_seeds, 0.0);
   // Child-stream derivation: sweep point k's seed depends only on
   // (base.seed, k), so parallel execution order cannot change results and
@@ -41,10 +45,12 @@ SeedStats sweep_seeds(
   // did for bases 1000 apart).
   const util::Rng master(base.seed);
   util::parallel_for(0, num_seeds, [&](std::size_t k) {
+    SORA_TRACE_SPAN("montecarlo/seed");
     Scenario sc = base;
     sc.seed = master.child(k).seed();
     const core::Instance inst = build_eval_instance(sc, scale);
     values[k] = metric(inst);
+    if (obs::metrics_enabled()) seeds_evaluated->inc();
   });
   return summarize(values);
 }

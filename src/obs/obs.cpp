@@ -1,0 +1,98 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace sora::obs {
+namespace {
+
+struct EnvConfig {
+  std::string metrics_out;
+  MetricsFormat metrics_format = MetricsFormat::kJson;
+  std::string trace_out;
+};
+
+EnvConfig& env_config() {
+  static EnvConfig* cfg = new EnvConfig;  // leaked: used from atexit
+  return *cfg;
+}
+
+bool is_truthy(const std::string& v) {
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+bool is_falsy(const std::string& v) {
+  return v.empty() || v == "0" || v == "false" || v == "no" || v == "off";
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void flush_exports_at_exit() {
+  try {
+    flush_exports();
+  } catch (const std::exception& e) {
+    // Best-effort at exit; never throw across atexit.
+    std::fprintf(stderr, "[warn] sora_obs export failed: %s\n", e.what());
+  }
+}
+
+}  // namespace
+
+void configure_from_env() {
+  // "1"/"on" -> enable only; any other non-falsy value is an output path
+  // (enable + export at exit).
+  if (const char* env = std::getenv("SORA_METRICS")) {
+    const std::string value(env);
+    set_metrics_enabled(!is_falsy(value));
+    if (!is_falsy(value) && !is_truthy(value)) {
+      env_config().metrics_out = value;
+      if (ends_with(value, ".txt") || ends_with(value, ".prom"))
+        env_config().metrics_format = MetricsFormat::kText;
+    }
+  }
+  if (const char* env = std::getenv("SORA_TRACE")) {
+    const std::string value(env);
+    set_trace_enabled(!is_falsy(value));
+    if (!is_falsy(value) && !is_truthy(value))
+      env_config().trace_out = value;
+  }
+  if (const char* env = std::getenv("SORA_METRICS_FORMAT"))
+    env_config().metrics_format = parse_metrics_format(env);
+  if (const char* env = std::getenv("SORA_TRACE_MAX_EVENTS")) {
+    const long cap = std::atol(env);
+    if (cap > 0) set_trace_max_events_per_thread(static_cast<std::size_t>(cap));
+  }
+}
+
+const std::string& metrics_out_path() { return env_config().metrics_out; }
+const std::string& trace_out_path() { return env_config().trace_out; }
+
+void flush_exports() {
+  const EnvConfig& cfg = env_config();
+  if (!cfg.metrics_out.empty())
+    Registry::global().write_file(cfg.metrics_out, cfg.metrics_format);
+  if (!cfg.trace_out.empty()) write_trace_file(cfg.trace_out);
+}
+
+namespace detail {
+
+// Called from static initializers in metrics.cpp and trace.cpp — the TUs
+// every sora_obs user links by referencing the enabled flags — so the env
+// contract holds in ANY binary, with no per-main() wiring. Idempotent.
+void auto_configure() {
+  static const bool once = [] {
+    configure_from_env();
+    std::atexit(flush_exports_at_exit);
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace detail
+
+}  // namespace sora::obs

@@ -1,0 +1,39 @@
+// sora_obs umbrella: the metrics registry + scoped tracing, plus the
+// process-level toggles shared by every binary.
+//
+// Environment contract (read once at process start by any binary linking
+// sora_obs):
+//
+//   SORA_METRICS=1|on           enable metric collection
+//   SORA_METRICS=<file>         enable AND export to <file> at exit
+//                               (.txt/.prom -> Prometheus text, else JSON;
+//                               SORA_METRICS_FORMAT=text|json overrides)
+//   SORA_TRACE=1|on             enable span tracing
+//   SORA_TRACE=<file>           enable AND export Chrome trace JSON at exit
+//   SORA_TRACE_MAX_EVENTS=N     per-thread span cap (default 65536)
+//
+// CLI front-ends (sora_cli, bench/run_benchmarks.sh) expose the same knobs
+// as --metrics-out / --metrics-format / --trace-out. See
+// docs/OBSERVABILITY.md for the metric-name catalogue.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sora::obs {
+
+/// Apply the SORA_METRICS / SORA_TRACE environment contract. Called
+/// automatically at static-init time by any binary linking sora_obs;
+/// idempotent and safe to call again (e.g. after a test flips env vars).
+void configure_from_env();
+
+/// Paths configured via environment (empty when unset). Exports to these
+/// paths run automatically at normal process exit.
+const std::string& metrics_out_path();
+const std::string& trace_out_path();
+
+/// Write the registered exit exports now (no-op for unset paths). Exposed
+/// so tests and tools can flush without exiting.
+void flush_exports();
+
+}  // namespace sora::obs

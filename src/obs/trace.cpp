@@ -1,0 +1,192 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sora::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+void auto_configure();  // obs.cpp: env contract + atexit export
+}  // namespace detail
+
+namespace {
+// Any binary using tracing links this TU; run the env contract at load.
+[[maybe_unused]] const bool g_auto_configured = (detail::auto_configure(), true);
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::atomic<std::size_t> g_max_events_per_thread{std::size_t{1} << 16};
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+struct TraceEvent {
+  const char* name;
+  double ts_us;
+  double dur_us;
+  std::uint32_t depth;
+};
+
+// One buffer per thread. The owning thread appends; the exporter reads.
+// Both take the per-buffer mutex, which is uncontended in steady state.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+struct Collector {
+  std::mutex mu;
+  // shared_ptr keeps buffers alive after their threads exit so a late
+  // export still sees their spans.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector;  // leaked: outlives atexit hooks
+  return *c;
+}
+
+struct ThreadState {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::uint32_t depth = 0;
+
+  ThreadState() : buffer(std::make_shared<ThreadBuffer>()) {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffer->tid = c.next_tid++;
+    c.buffers.push_back(buffer);
+  }
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   process_epoch())
+      .count();
+}
+
+void set_trace_max_events_per_thread(std::size_t cap) {
+  g_max_events_per_thread.store(cap, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint32_t enter_span() { return thread_state().depth++; }
+
+void exit_span() {
+  ThreadState& state = thread_state();
+  if (state.depth > 0) --state.depth;
+}
+
+void record_span(const char* name, double start_us, double end_us,
+                 std::uint32_t depth) {
+  ThreadBuffer& buf = *thread_state().buffer;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >=
+      g_max_events_per_thread.load(std::memory_order_relaxed)) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(
+      {name, start_us, std::max(0.0, end_us - start_us), depth});
+}
+
+}  // namespace detail
+
+namespace {
+
+std::string fmt_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_trace_json() {
+  Collector& c = collector();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  std::size_t total = 0;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    dropped += buf->dropped;
+    for (const TraceEvent& ev : buf->events) {
+      if (!first) os << ",";
+      first = false;
+      // Complete events: nesting is implied by ts/dur containment per tid.
+      os << "{\"name\":\"" << ev.name << "\",\"cat\":\"sora\",\"ph\":\"X\""
+         << ",\"ts\":" << fmt_us(ev.ts_us) << ",\"dur\":" << fmt_us(ev.dur_us)
+         << ",\"pid\":1,\"tid\":" << buf->tid
+         << ",\"args\":{\"depth\":" << ev.depth << "}}";
+      ++total;
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"soraTraceMeta\":{\"events\":" << total
+     << ",\"dropped\":" << dropped << "}}\n";
+  return os.str();
+}
+
+void write_trace_file(const std::string& path) {
+  const std::string body = render_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SORA_CHECK_MSG(f != nullptr, "cannot open trace file " + path);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  SORA_CHECK_MSG(written == body.size(), "short write to " + path);
+}
+
+void trace_clear() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+std::size_t trace_event_count() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::size_t total = 0;
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->events.size();
+  }
+  return total;
+}
+
+}  // namespace sora::obs

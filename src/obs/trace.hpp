@@ -1,0 +1,88 @@
+// Scoped tracing: RAII spans with thread-local nesting, exported as Chrome
+// trace-event JSON ("traceEvents" complete events), loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
+//   { SORA_TRACE_SPAN("roa/slot"); ... }   // one complete event per scope
+//
+// Span names must be string literals (or otherwise outlive the process):
+// spans store the pointer, not a copy, so the hot path never allocates.
+// Each thread appends to its own buffer under a per-buffer mutex that only
+// the exporter ever contends for; buffers outlive their threads so late
+// export sees everything. Disabled tracing (the default) costs one relaxed
+// atomic load + branch per span.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sora::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool enabled);
+
+/// Per-thread event cap (default 1 << 16; SORA_TRACE_MAX_EVENTS overrides).
+/// Events past the cap are dropped and counted in the export metadata.
+void set_trace_max_events_per_thread(std::size_t cap);
+
+/// Microseconds since the process trace epoch (steady clock).
+double trace_now_us();
+
+namespace detail {
+void record_span(const char* name, double start_us, double end_us,
+                 std::uint32_t depth);
+std::uint32_t enter_span();  // returns the new depth - 1 (this span's depth)
+void exit_span();
+}  // namespace detail
+
+/// RAII span. Captures start on construction, records one complete event on
+/// destruction. Nesting is tracked per thread; a span started while tracing
+/// is disabled stays inert even if tracing is enabled mid-scope.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      depth_ = detail::enter_span();
+      start_us_ = trace_now_us();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      detail::record_span(name_, start_us_, trace_now_us(), depth_);
+      detail::exit_span();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr == inert
+  double start_us_ = 0.0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Chrome trace-event JSON for everything recorded so far:
+/// {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid", "tid"},
+/// ...], "soraTraceMeta": {...}}.
+std::string render_trace_json();
+/// render_trace_json() to `path`; throws CheckError on I/O error.
+void write_trace_file(const std::string& path);
+/// Drop all recorded events (buffers stay registered). Test isolation only.
+void trace_clear();
+/// Total events currently buffered across all threads.
+std::size_t trace_event_count();
+
+}  // namespace sora::obs
+
+#define SORA_OBS_CONCAT2(a, b) a##b
+#define SORA_OBS_CONCAT(a, b) SORA_OBS_CONCAT2(a, b)
+/// One complete trace event covering the enclosing scope.
+#define SORA_TRACE_SPAN(name) \
+  ::sora::obs::Span SORA_OBS_CONCAT(sora_obs_span_, __LINE__)(name)

@@ -3,9 +3,11 @@
 #include <cmath>
 
 #include "linalg/cholesky.hpp"
+#include "obs/obs.hpp"
 #include "solver/lp.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace sora::solver {
 namespace {
@@ -78,6 +80,41 @@ struct SparseG {
   void add_AtDA(const Vec& w, Matrix& hess) const { g.add_AtDA(w, hess); }
 };
 
+// Handles resolved once (leaked registry gives stable addresses); the hot
+// loop only touches atomics. Non-template so every instantiation of
+// solve_barrier_impl shares one lookup.
+struct IpmMetrics {
+  obs::Histogram* newton_steps;
+  obs::Histogram* backtracks;
+  obs::Histogram* centerings;
+  obs::Histogram* cholesky_seconds;
+  obs::Histogram* final_gap;
+};
+
+const IpmMetrics& ipm_metrics() {
+  static const IpmMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    return IpmMetrics{
+        &reg.histogram("sora_ipm_newton_steps", "steps",
+                       "Newton steps per barrier solve",
+                       obs::exponential_buckets(1.0, 2.0, 12)),
+        &reg.histogram("sora_ipm_line_search_backtracks", "backtracks",
+                       "Backtracking line-search shrinks per barrier solve",
+                       obs::exponential_buckets(1.0, 2.0, 12)),
+        &reg.histogram("sora_ipm_centering_iterations", "centerings",
+                       "Outer centering phases per barrier solve",
+                       obs::linear_buckets(1.0, 2.0, 16)),
+        &reg.histogram("sora_ipm_cholesky_seconds", "seconds",
+                       "Cholesky factor+solve time per barrier solve",
+                       obs::exponential_buckets(1e-6, 4.0, 14)),
+        &reg.histogram("sora_ipm_final_duality_gap", "gap",
+                       "Duality gap bound m/t at barrier-solve exit",
+                       obs::exponential_buckets(1e-10, 10.0, 12)),
+    };
+  }();
+  return metrics;
+}
+
 template <class G>
 IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
                              const Vec& h, const Vec& x0,
@@ -120,6 +157,12 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
   double t = options.t0;
   std::size_t newton_budget = options.max_newton_steps;
   std::size_t steps_used = 0;
+  // Capture the toggle once per solve: one relaxed load, and the per-step
+  // clock reads vanish entirely when metrics are off.
+  const bool obs_on = obs::metrics_enabled();
+  std::size_t backtracks_total = 0;
+  std::size_t centerings = 0;
+  double cholesky_seconds = 0.0;
   // Last point where the Newton decrement certified convergence to the
   // central path, with its barrier multiplier. Dual recovery 1/(t*s) is only
   // trustworthy at such points; line-search stalls at extreme t would
@@ -129,6 +172,7 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
 
   while (true) {
     // ---- Center for the current t with damped Newton.
+    ++centerings;
     std::size_t steps_this_center = 0;
     while (newton_budget > 0 &&
            steps_this_center < options.max_steps_per_center) {
@@ -155,9 +199,13 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
         ws.hess_w[i] = ws.inv_s[i] * ws.inv_s[i];
       gm.add_AtDA(ws.hess_w, ws.hess);
 
-      linalg::cholesky_factor_regularized_into(ws.hess, ws.chol, 1e-12, 1e16);
-      for (std::size_t j = 0; j < n; ++j) ws.dx[j] = -ws.grad[j];
-      linalg::cholesky_solve_in_place(ws.chol, ws.dx);
+      {
+        util::ScopedTimer chol_timer(obs_on ? &cholesky_seconds : nullptr);
+        linalg::cholesky_factor_regularized_into(ws.hess, ws.chol, 1e-12,
+                                                 1e16);
+        for (std::size_t j = 0; j < n; ++j) ws.dx[j] = -ws.grad[j];
+        linalg::cholesky_solve_in_place(ws.chol, ws.dx);
+      }
 
       const double decrement2 = -linalg::dot(ws.grad, ws.dx);  // lambda^2
       --newton_budget;
@@ -198,6 +246,7 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
           }
         }
         step *= options.line_search_beta;
+        ++backtracks_total;
       }
       if (!moved) {
         // Stuck: gradient/Hessian inconsistency at this scale. Treat the
@@ -225,6 +274,15 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
       break;
     }
     t *= options.mu;
+  }
+
+  if (obs_on) {
+    const IpmMetrics& metrics = ipm_metrics();
+    metrics.newton_steps->observe(static_cast<double>(steps_used));
+    metrics.backtracks->observe(static_cast<double>(backtracks_total));
+    metrics.centerings->observe(static_cast<double>(centerings));
+    metrics.cholesky_seconds->observe(cholesky_seconds);
+    metrics.final_gap->observe(static_cast<double>(m) / t);
   }
 
   result.x = x;

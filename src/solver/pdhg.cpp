@@ -1,5 +1,7 @@
 #include "solver/pdhg.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -131,6 +133,7 @@ class Pdhg {
     std::size_t avg_count = 0;
     double omega = initial_primal_weight();
     double last_restart_error = kInf;
+    std::uint64_t restarts = 0;
     KktError best_err;
     Vec best_x = x, best_y = y;
     double best_total = kInf;
@@ -177,6 +180,7 @@ class Pdhg {
       // last restart, re-center on the better iterate and rebalance the
       // primal weight from the residual ratio.
       if (err.total() < 0.42 * last_restart_error || avg_count >= 4000) {
+        ++restarts;
         if (avg_better) {
           x = x_avg;
           y = y_avg;
@@ -205,6 +209,24 @@ class Pdhg {
     LpSolution out;
     out.iterations = iter;
     out.solve_seconds = timer.seconds();
+    if (obs::metrics_enabled()) {
+      struct PdhgMetrics {
+        obs::Histogram* iterations;
+        obs::Counter* restarts;
+      };
+      static const PdhgMetrics metrics = [] {
+        auto& reg = obs::Registry::global();
+        return PdhgMetrics{
+            &reg.histogram("sora_pdhg_iterations", "iterations",
+                           "PDHG iterations per LP solve",
+                           obs::exponential_buckets(16.0, 2.0, 16)),
+            &reg.counter("sora_pdhg_restarts_total",
+                         "Adaptive restarts across all PDHG solves"),
+        };
+      }();
+      metrics.iterations->observe(static_cast<double>(iter));
+      metrics.restarts->inc(restarts);
+    }
     const bool accepted =
         converged(final_err) ||
         (final_err.primal <= options_.accept_factor * options_.eps_rel &&

@@ -6,6 +6,7 @@
 
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -476,7 +477,14 @@ class SimplexSolver {
 LpSolution solve_simplex(const LpModel& model, const SimplexOptions& options) {
   model.validate();
   SimplexSolver solver(model, options);
-  return solver.run();
+  LpSolution out = solver.run();
+  if (obs::metrics_enabled()) {
+    static obs::Histogram* iterations = &obs::Registry::global().histogram(
+        "sora_simplex_iterations", "iterations",
+        "Simplex pivots per LP solve", obs::exponential_buckets(1.0, 2.0, 16));
+    iterations->observe(static_cast<double>(out.iterations));
+  }
+  return out;
 }
 
 }  // namespace sora::solver

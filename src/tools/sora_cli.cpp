@@ -21,6 +21,9 @@
 //   --simulate    replay each trajectory: drops, utilization, SLA [false]
 //   --certify     build + check the competitive certificate       [false]
 //   --out         write the per-slot cost series to this CSV
+//   --metrics-out    write the metrics registry to this file
+//   --metrics-format text|json (default: json, or text for .txt/.prom)
+//   --trace-out      write a Chrome trace-event JSON to this file
 #include <iostream>
 #include <map>
 #include <string>
@@ -34,6 +37,7 @@
 #include "core/predictive.hpp"
 #include "core/roa.hpp"
 #include "eval/replay.hpp"
+#include "obs/obs.hpp"
 #include "util/csv.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -132,7 +136,11 @@ int main(int argc, char** argv) {
           "  --window W --error PCT --model-tier1 --seed S\n"
           "  --simulate   replay metrics (drops, utilization, SLA)\n"
           "  --certify    competitive certificate (Theorem 1 per run)\n"
-          "  --out FILE   per-slot cumulative-cost CSV\n";
+          "  --out FILE   per-slot cumulative-cost CSV\n"
+          "  --metrics-out FILE    solver/ROA metrics (json, or text for\n"
+          "                        .txt/.prom; --metrics-format overrides)\n"
+          "  --metrics-format text|json\n"
+          "  --trace-out FILE      Chrome trace-event JSON (Perfetto)\n";
       return 0;
     }
   }
@@ -140,7 +148,12 @@ int main(int argc, char** argv) {
       argc, argv,
       {"algorithm", "workload", "trace", "hours", "tier2", "tier1", "k", "b",
        "eps", "window", "error", "model-tier1", "seed", "simulate", "certify",
-       "out"});
+       "out", "metrics-out", "metrics-format", "trace-out"});
+
+  const std::string metrics_out = opts.get_string("metrics-out", "");
+  const std::string trace_out = opts.get_string("trace-out", "");
+  if (!metrics_out.empty()) obs::set_metrics_enabled(true);
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
 
   const core::Instance inst = build(opts);
   const auto report = cloudnet::validate_instance(inst);
@@ -224,6 +237,24 @@ int main(int argc, char** argv) {
     }
     csv.write_file(out_path);
     std::cout << "\nper-slot series written to " << out_path << "\n";
+  }
+
+  if (!metrics_out.empty()) {
+    // Default to JSON; .txt/.prom extensions mean Prometheus text, and an
+    // explicit --metrics-format always wins.
+    obs::MetricsFormat format = obs::MetricsFormat::kJson;
+    const auto dot = metrics_out.rfind('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : metrics_out.substr(dot);
+    if (ext == ".txt" || ext == ".prom") format = obs::MetricsFormat::kText;
+    if (opts.has("metrics-format"))
+      format = obs::parse_metrics_format(opts.get_string("metrics-format", ""));
+    obs::Registry::global().write_file(metrics_out, format);
+    std::cout << "metrics written to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    obs::write_trace_file(trace_out);
+    std::cout << "trace written to " << trace_out << "\n";
   }
   return 0;
 }

@@ -1,0 +1,140 @@
+// sora_obs_check — validate metrics/trace JSON emitted by the obs layer.
+// Used by CI to gate the telemetry artifacts and handy for humans too.
+//
+//   sora_obs_check --metrics m.json [--require sora_ipm_newton_steps ...]
+//   sora_obs_check --trace t.json [--min-events N]
+//
+// Exits 0 when every given file parses and every --require'd metric exists
+// with at least one recorded observation; prints what failed otherwise.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "sora_obs_check: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+using sora::obs::json::Value;
+
+// A metric "has data" when a counter/gauge carries a value field or a
+// histogram has a positive count.
+bool metric_has_data(const Value& metric) {
+  if (const Value* count = metric.find("count"))
+    return count->as_number() > 0.0;
+  return metric.find("value") != nullptr;
+}
+
+int check_metrics(const std::string& path,
+                  const std::vector<std::string>& required) {
+  const Value doc = sora::obs::json::parse(read_file(path));
+  const Value& metrics = doc.at("metrics");
+  int failures = 0;
+  for (const std::string& name : required) {
+    bool found = false;
+    for (const Value& metric : metrics.as_array()) {
+      if (metric.at("name").as_string() != name) continue;
+      found = true;
+      if (!metric_has_data(metric)) {
+        std::fprintf(stderr, "FAIL: metric %s present but empty\n",
+                     name.c_str());
+        ++failures;
+      }
+      break;
+    }
+    if (!found) {
+      std::fprintf(stderr, "FAIL: metric %s missing from %s\n", name.c_str(),
+                   path.c_str());
+      ++failures;
+    }
+  }
+  std::printf("metrics %s: %zu metrics, %zu required present\n", path.c_str(),
+              metrics.as_array().size(), required.size());
+  return failures;
+}
+
+int check_trace(const std::string& path, double min_events) {
+  const Value doc = sora::obs::json::parse(read_file(path));
+  const Value& events = doc.at("traceEvents");
+  int failures = 0;
+  for (const Value& ev : events.as_array()) {
+    // Chrome trace-event complete events: these fields are what Perfetto
+    // needs to reconstruct the span tree.
+    if (!ev.find("name") || !ev.find("ph") || !ev.find("ts") ||
+        !ev.find("dur") || !ev.find("tid")) {
+      std::fprintf(stderr, "FAIL: trace event missing a required field\n");
+      ++failures;
+      break;
+    }
+  }
+  const std::size_t n = events.as_array().size();
+  if (static_cast<double>(n) < min_events) {
+    std::fprintf(stderr, "FAIL: trace has %zu events, expected >= %g\n", n,
+                 min_events);
+    ++failures;
+  }
+  std::printf("trace %s: %zu events\n", path.c_str(), n);
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<std::string> required;
+  double min_events = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sora_obs_check: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--require") {
+      required.push_back(next());
+    } else if (arg == "--min-events") {
+      min_events = std::strtod(next().c_str(), nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: sora_obs_check [--metrics FILE [--require NAME]...]"
+                   " [--trace FILE [--min-events N]]\n");
+      return 2;
+    }
+  }
+  if (metrics_path.empty() && trace_path.empty()) {
+    std::fprintf(stderr, "sora_obs_check: nothing to check\n");
+    return 2;
+  }
+
+  int failures = 0;
+  try {
+    if (!metrics_path.empty()) failures += check_metrics(metrics_path, required);
+    if (!trace_path.empty()) failures += check_trace(trace_path, min_events);
+  } catch (const sora::util::CheckError& e) {
+    std::fprintf(stderr, "FAIL: %s\n", e.what());
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace sora::util {
@@ -17,16 +19,34 @@ std::atomic<LogLevel>& level_storage() {
   return level;
 }
 
-const char* level_name(LogLevel level) {
-  switch (level) {
-    case LogLevel::kTrace: return "trace";
-    case LogLevel::kDebug: return "debug";
-    case LogLevel::kInfo: return "info";
-    case LogLevel::kWarn: return "warn";
-    case LogLevel::kError: return "error";
-    case LogLevel::kOff: return "off";
-  }
-  return "?";
+std::atomic<void (*)(const std::string&)> g_sink{nullptr};
+
+// Small dense ids (1, 2, ...) in first-log order; easier to read than
+// std::thread::id hashes and stable for the thread's lifetime.
+unsigned thread_log_id() {
+  static std::atomic<unsigned> next{1};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// UTC wall clock with millisecond precision: 2026-08-05T12:34:56.789Z
+std::string format_timestamp() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
 }
 
 }  // namespace
@@ -50,11 +70,38 @@ LogLevel parse_log_level(const std::string& name) {
   return LogLevel::kInfo;
 }
 
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_sink(void (*sink)(const std::string& line)) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  std::string line = format_timestamp();
+  line += " [";
+  line += log_level_name(level);
+  line += "] (tid ";
+  line += std::to_string(thread_log_id());
+  line += ") ";
+  line += message;
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (auto* sink = g_sink.load(std::memory_order_acquire)) {
+    sink(line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace sora::util

@@ -1,5 +1,7 @@
 // Minimal leveled logger writing to stderr. Thread-safe; level settable at
-// runtime (SORA_LOG env var: trace|debug|info|warn|error|off).
+// runtime (SORA_LOG env var: trace|debug|info|warn|error|off). Each line
+// carries a wall-clock timestamp and the emitting thread's id:
+//   2026-08-05T12:34:56.789Z [info] (tid 3) message
 #pragma once
 
 #include <sstream>
@@ -16,8 +18,17 @@ void set_log_level(LogLevel level);
 /// Parse "info", "debug", ... (case-insensitive); unknown -> kInfo.
 LogLevel parse_log_level(const std::string& name);
 
-/// Emit one line: "[level] message". Thread-safe.
+/// Canonical lowercase name for a level ("trace", ..., "off").
+const char* log_level_name(LogLevel level);
+
+/// Emit one line: "<timestamp> [level] (tid N) message". Thread-safe.
 void log_line(LogLevel level, const std::string& message);
+
+/// Redirect formatted log lines to `sink` instead of stderr (nullptr restores
+/// stderr). The sink is called with the full formatted line, no trailing
+/// newline, under the logger's mutex — keep it fast and non-reentrant.
+/// Intended for tests.
+void set_log_sink(void (*sink)(const std::string& line));
 
 namespace detail {
 class LogMessage {
@@ -32,14 +43,28 @@ class LogMessage {
   LogLevel level_;
   std::ostringstream stream_;
 };
+
+// Swallows a stream chain and yields void, so SORA_LOG can expand to a
+// single conditional expression. operator& binds looser than operator<<,
+// so the whole `stream << a << b` chain evaluates first.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
 }  // namespace detail
 
 }  // namespace sora::util
 
-#define SORA_LOG(level)                                                  \
-  if (::sora::util::log_level() <= ::sora::util::LogLevel::level)        \
-  ::sora::util::detail::LogMessage(::sora::util::LogLevel::level).stream()
+// Expands to one expression (no bare `if`), so the macro is safe as the
+// unbraced body of an if/else: a following `else` cannot silently bind to a
+// hidden `if` inside the macro, and -Wdangling-else stays quiet.
+#define SORA_LOG(level)                                                    \
+  (::sora::util::log_level() > ::sora::util::LogLevel::level)              \
+      ? (void)0                                                            \
+      : ::sora::util::detail::Voidify() &                                  \
+            ::sora::util::detail::LogMessage(::sora::util::LogLevel::level) \
+                .stream()
 
+#define SORA_LOG_TRACE SORA_LOG(kTrace)
 #define SORA_LOG_INFO SORA_LOG(kInfo)
 #define SORA_LOG_DEBUG SORA_LOG(kDebug)
 #define SORA_LOG_WARN SORA_LOG(kWarn)

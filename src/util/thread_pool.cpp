@@ -4,13 +4,37 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace sora::util {
 namespace {
 // Set while executing a pool task; nested parallel_for runs inline instead
 // of blocking a worker on the same pool (which could deadlock).
 thread_local bool t_inside_worker = false;
+
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_seconds;
+};
+
+const PoolMetrics& pool_metrics() {
+  static const PoolMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    return PoolMetrics{
+        &reg.counter("sora_threadpool_tasks_total",
+                     "Tasks executed by the shared thread pool"),
+        &reg.gauge("sora_threadpool_queue_depth",
+                   "Tasks waiting in the pool queue"),
+        &reg.histogram("sora_threadpool_task_seconds", "seconds",
+                       "Wall-clock task execution time",
+                       obs::exponential_buckets(1e-6, 4.0, 14)),
+    };
+  }();
+  return metrics;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -34,11 +58,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   SORA_CHECK(task != nullptr);
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     SORA_CHECK_MSG(!stopping_, "submit after shutdown");
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  if (obs::metrics_enabled())
+    pool_metrics().queue_depth->set(static_cast<double>(depth));
   work_available_.notify_one();
 }
 
@@ -50,16 +78,30 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
       ++in_flight_;
     }
+    const bool obs_on = obs::metrics_enabled();
+    if (obs_on) pool_metrics().queue_depth->set(static_cast<double>(depth));
     t_inside_worker = true;
-    task();
+    {
+      double task_seconds = 0.0;
+      {
+        ScopedTimer task_timer(obs_on ? &task_seconds : nullptr);
+        task();
+      }
+      if (obs_on) {
+        pool_metrics().tasks->inc();
+        pool_metrics().task_seconds->observe(task_seconds);
+      }
+    }
     t_inside_worker = false;
     {
       std::lock_guard<std::mutex> lock(mu_);

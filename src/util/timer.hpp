@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace sora::util {
 
@@ -18,9 +19,36 @@ class Timer {
 
   double milliseconds() const { return seconds() * 1e3; }
 
+  /// Integer nanoseconds elapsed since construction or last reset().
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Adds the scope's wall-clock duration (seconds) to *accum at destruction.
+/// Replaces the manual `Timer t; ...; acc += t.seconds();` pattern and keeps
+/// the accumulation correct on early returns and exceptions.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accum) : accum_(accum) {}
+  ~ScopedTimer() {
+    if (accum_ != nullptr) *accum_ += timer_.seconds();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far, without stopping the timer.
+  double seconds() const { return timer_.seconds(); }
+
+ private:
+  double* accum_;
+  Timer timer_;
 };
 
 }  // namespace sora::util

@@ -1,0 +1,215 @@
+// sora_obs registry: concurrency exactness, bucket boundaries, exporters.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace sora::obs {
+namespace {
+
+// Every test that records must enable the global toggle; restore on exit so
+// test order never matters.
+struct MetricsOn {
+  MetricsOn() { set_metrics_enabled(true); }
+  ~MetricsOn() { set_metrics_enabled(false); }
+};
+
+TEST(ObsCounter, ConcurrentIncrementsAreExact) {
+  MetricsOn on;
+  Counter& c = Registry::global().counter("test_concurrent_counter");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsCounter, DisabledIncrementsAreDropped) {
+  set_metrics_enabled(false);
+  Counter& c = Registry::global().counter("test_disabled_counter");
+  c.reset();
+  c.inc(5);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddAndConcurrentAdd) {
+  MetricsOn on;
+  Gauge& g = Registry::global().gauge("test_gauge");
+  g.reset();
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  g.reset();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w)
+    workers.emplace_back([&g] {
+      for (int i = 0; i < 1000; ++i) g.add(1.0);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(g.value(), 4000.0);
+}
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpper) {
+  MetricsOn on;
+  Histogram& h = Registry::global().histogram("test_bucket_boundaries", "x",
+                                              "", {1.0, 2.0, 4.0});
+  h.reset();
+  // Bucket k counts v <= bounds[k]; the boundary value itself lands in its
+  // own bucket, not the next one.
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0}) h.observe(v);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(counts[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(counts[2], 2u);  // 3.0, 4.0
+  EXPECT_EQ(counts[3], 1u);  // 5.0 -> +Inf
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 5.0);
+}
+
+TEST(ObsHistogram, ConcurrentObservesKeepExactCount) {
+  MetricsOn on;
+  Histogram& h = Registry::global().histogram("test_concurrent_hist", "x", "",
+                                              linear_buckets(0.0, 1.0, 8));
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w)
+    workers.emplace_back([&h, w] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(static_cast<double>(w % 8));
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (const auto c : h.bucket_counts()) total += c;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(ObsHistogram, RejectsBadBounds) {
+  auto& reg = Registry::global();
+  EXPECT_THROW(reg.histogram("test_bad_empty", "x", "", {}),
+               util::CheckError);
+  EXPECT_THROW(reg.histogram("test_bad_order", "x", "", {2.0, 1.0}),
+               util::CheckError);
+  EXPECT_THROW(reg.histogram("test_bad_dup", "x", "", {1.0, 1.0}),
+               util::CheckError);
+}
+
+TEST(ObsBuckets, Generators) {
+  const auto exp = exponential_buckets(1.0, 2.0, 4);
+  EXPECT_EQ(exp, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const auto lin = linear_buckets(0.5, 0.25, 3);
+  EXPECT_EQ(lin, (std::vector<double>{0.5, 0.75, 1.0}));
+}
+
+TEST(ObsRegistry, SameNameReturnsSameInstrument) {
+  Counter& a = Registry::global().counter("test_same_handle");
+  Counter& b = Registry::global().counter("test_same_handle");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  Registry::global().counter("test_kind_clash");
+  EXPECT_THROW(Registry::global().gauge("test_kind_clash"), util::CheckError);
+}
+
+TEST(ObsRegistry, TextExportHasPrometheusShape) {
+  MetricsOn on;
+  auto& reg = Registry::global();
+  Counter& c = reg.counter("test_text_counter", "a help line");
+  Histogram& h =
+      reg.histogram("test_text_hist", "seconds", "hist help", {1.0, 2.0});
+  c.reset();
+  h.reset();
+  c.inc(3);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("# HELP test_text_counter a help line"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_text_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("test_text_counter 3"), std::string::npos);
+  // Cumulative le buckets: 1 obs <= 1, 2 obs <= 2, 3 total.
+  EXPECT_NE(text.find("test_text_hist_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_text_hist_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_text_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_text_hist_count 3"), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonExportParsesAndMatches) {
+  MetricsOn on;
+  auto& reg = Registry::global();
+  Counter& c = reg.counter("test_json_counter");
+  Histogram& h = reg.histogram("test_json_hist", "seconds", "", {1.0, 2.0});
+  c.reset();
+  h.reset();
+  c.inc(7);
+  h.observe(1.5);
+  const json::Value doc = json::parse(reg.render_json());
+  bool saw_counter = false, saw_hist = false;
+  for (const json::Value& metric : doc.at("metrics").as_array()) {
+    const std::string& name = metric.at("name").as_string();
+    if (name == "test_json_counter") {
+      saw_counter = true;
+      EXPECT_EQ(metric.at("type").as_string(), "counter");
+      EXPECT_DOUBLE_EQ(metric.at("value").as_number(), 7.0);
+    } else if (name == "test_json_hist") {
+      saw_hist = true;
+      EXPECT_EQ(metric.at("type").as_string(), "histogram");
+      EXPECT_DOUBLE_EQ(metric.at("count").as_number(), 1.0);
+      EXPECT_DOUBLE_EQ(metric.at("sum").as_number(), 1.5);
+      const auto& buckets = metric.at("buckets").as_array();
+      ASSERT_EQ(buckets.size(), 3u);  // two bounds + +Inf
+      EXPECT_DOUBLE_EQ(buckets[1].at("count").as_number(), 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(ObsRegistry, WriteFileRoundTrips) {
+  MetricsOn on;
+  auto& reg = Registry::global();
+  reg.counter("test_write_counter").reset();
+  reg.counter("test_write_counter").inc();
+  const std::string path = ::testing::TempDir() + "sora_obs_metrics.json";
+  reg.write_file(path, MetricsFormat::kJson);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string body;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NO_THROW(json::parse(body));
+}
+
+TEST(ObsFormat, ParseMetricsFormat) {
+  EXPECT_EQ(parse_metrics_format("text"), MetricsFormat::kText);
+  EXPECT_EQ(parse_metrics_format("prom"), MetricsFormat::kText);
+  EXPECT_EQ(parse_metrics_format("prometheus"), MetricsFormat::kText);
+  EXPECT_EQ(parse_metrics_format("json"), MetricsFormat::kJson);
+  EXPECT_EQ(parse_metrics_format("anything"), MetricsFormat::kJson);
+}
+
+}  // namespace
+}  // namespace sora::obs

@@ -1,0 +1,155 @@
+// sora_obs tracing: JSON well-formedness, span nesting, per-thread buffers,
+// and the event cap.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace sora::obs {
+namespace {
+
+struct TraceOn {
+  TraceOn() {
+    set_trace_enabled(true);
+    trace_clear();
+  }
+  ~TraceOn() {
+    set_trace_enabled(false);
+    trace_clear();
+    set_trace_max_events_per_thread(std::size_t{1} << 16);
+  }
+};
+
+struct SpanRecord {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  double tid = 0.0;
+  double depth = 0.0;
+  double end() const { return ts + dur; }
+};
+
+std::vector<SpanRecord> parse_spans(const std::string& body) {
+  const json::Value doc = json::parse(body);
+  std::vector<SpanRecord> spans;
+  for (const json::Value& ev : doc.at("traceEvents").as_array()) {
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_EQ(ev.at("cat").as_string(), "sora");
+    SpanRecord s;
+    s.name = ev.at("name").as_string();
+    s.ts = ev.at("ts").as_number();
+    s.dur = ev.at("dur").as_number();
+    s.tid = ev.at("tid").as_number();
+    s.depth = ev.at("args").at("depth").as_number();
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+const SpanRecord& find_span(const std::vector<SpanRecord>& spans,
+                            const std::string& name) {
+  for (const SpanRecord& s : spans)
+    if (s.name == name) return s;
+  ADD_FAILURE() << "span not found: " << name;
+  static const SpanRecord empty;
+  return empty;
+}
+
+TEST(ObsTrace, DisabledRecordsNothing) {
+  set_trace_enabled(false);
+  trace_clear();
+  {
+    SORA_TRACE_SPAN("should_not_appear");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(ObsTrace, NestedSpansAreContainedAndDepthTagged) {
+  TraceOn on;
+  {
+    SORA_TRACE_SPAN("outer");
+    {
+      SORA_TRACE_SPAN("middle");
+      { SORA_TRACE_SPAN("inner"); }
+    }
+    { SORA_TRACE_SPAN("sibling"); }
+  }
+  const auto spans = parse_spans(render_trace_json());
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanRecord& outer = find_span(spans, "outer");
+  const SpanRecord& middle = find_span(spans, "middle");
+  const SpanRecord& inner = find_span(spans, "inner");
+  const SpanRecord& sibling = find_span(spans, "sibling");
+
+  EXPECT_EQ(outer.depth, 0.0);
+  EXPECT_EQ(middle.depth, 1.0);
+  EXPECT_EQ(inner.depth, 2.0);
+  EXPECT_EQ(sibling.depth, 1.0);
+
+  // Containment (the exporter rounds timestamps to 1e-3 us).
+  const double eps = 2e-3;
+  EXPECT_LE(outer.ts, middle.ts + eps);
+  EXPECT_GE(outer.end() + eps, middle.end());
+  EXPECT_LE(middle.ts, inner.ts + eps);
+  EXPECT_GE(middle.end() + eps, inner.end());
+  // Siblings do not overlap.
+  EXPECT_GE(sibling.ts + eps, middle.end());
+
+  // Same thread throughout.
+  EXPECT_EQ(outer.tid, middle.tid);
+  EXPECT_EQ(outer.tid, inner.tid);
+}
+
+TEST(ObsTrace, ThreadsGetDistinctTids) {
+  TraceOn on;
+  {
+    SORA_TRACE_SPAN("main_thread");
+  }
+  std::thread worker([] { SORA_TRACE_SPAN("worker_thread"); });
+  worker.join();
+  const auto spans = parse_spans(render_trace_json());
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(find_span(spans, "main_thread").tid,
+            find_span(spans, "worker_thread").tid);
+}
+
+TEST(ObsTrace, EventCapDropsAndCounts) {
+  TraceOn on;
+  set_trace_max_events_per_thread(10);
+  for (int i = 0; i < 25; ++i) {
+    SORA_TRACE_SPAN("capped");
+  }
+  EXPECT_EQ(trace_event_count(), 10u);
+  const json::Value doc = json::parse(render_trace_json());
+  const json::Value& meta = doc.at("soraTraceMeta");
+  EXPECT_DOUBLE_EQ(meta.at("events").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(meta.at("dropped").as_number(), 15.0);
+}
+
+TEST(ObsTrace, WriteFileEmitsParseableJson) {
+  TraceOn on;
+  {
+    SORA_TRACE_SPAN("file_span");
+  }
+  const std::string path = ::testing::TempDir() + "sora_obs_trace.json";
+  write_trace_file(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string body;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const auto spans = parse_spans(body);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "file_span");
+}
+
+}  // namespace
+}  // namespace sora::obs
