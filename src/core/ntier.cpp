@@ -5,10 +5,12 @@
 #include <numbers>
 
 #include "core/regularizer.hpp"
+#include "core/resilience.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
 #include "solver/ipm.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 
 namespace sora::core {
 
@@ -303,12 +305,24 @@ void check_demand_reachable(const NTierInstance& inst, const Vec& demand_row,
 
 // Window LP over [t0, t1). Layout per slot: [f | x | y | u | w]. When
 // `terminal` is set, the final slot's resources are pinned to it.
+//
+// Failure handling: the LP is retried on the alternate backend by
+// solve_lp_with_fallback. If both fail and `window_ok` is null, a
+// recoverable CheckError is thrown; otherwise *window_ok is cleared and the
+// window degrades to holding `prev` (the applier's repair step restores
+// coverage slot by slot). `fault_slot`/`attempt_base` thread the
+// fault-injection hook through when a slot solver uses this as its LP
+// fallback stage.
 NTierTrajectory solve_ntier_window(const NTierInstance& inst,
                                    const InputsView& view, std::size_t t0,
                                    std::size_t t1,
                                    const NTierAllocation& prev,
                                    const NTierAllocation* terminal,
-                                   const solver::LpSolveOptions& lp) {
+                                   const solver::LpSolveOptions& lp,
+                                   bool* window_ok = nullptr,
+                                   SolveOutcome* outcome = nullptr,
+                                   std::size_t fault_slot = kNoFaultSlot,
+                                   std::size_t attempt_base = 0) {
   const FlowIndex fidx(inst);
   const std::size_t V = inst.num_nodes();
   const std::size_t L = inst.num_links();
@@ -380,8 +394,23 @@ NTierTrajectory solve_ntier_window(const NTierInstance& inst,
     }
   }
 
-  const auto sol = solver::solve_lp(b.build(), lp);
-  SORA_CHECK_MSG(sol.ok(), "n-tier window LP failed: " + sol.detail);
+  SolveOutcome lp_outcome;
+  const auto sol = solve_lp_with_fallback(b.build(), lp, &lp_outcome,
+                                          fault_slot, attempt_base);
+  if (outcome != nullptr) *outcome = lp_outcome;
+  if (!sol.ok()) {
+    if (window_ok != nullptr) {
+      *window_ok = false;
+      SORA_LOG_WARN << "ntier: window LP failed over [" << t0 << ", " << t1
+                    << ") (" << solver::to_string(sol.status)
+                    << "); holding the previous allocation";
+      NTierTrajectory held;
+      held.slots.assign(window, prev);
+      return held;
+    }
+    SORA_CHECK_MSG(false, "n-tier window LP failed: " + sol.detail);
+  }
+  if (window_ok != nullptr) *window_ok = true;
 
   NTierTrajectory traj;
   for (std::size_t rel = 0; rel < window; ++rel) {
@@ -564,8 +593,17 @@ double ntier_slot_violation(const NTierInstance& inst, std::size_t t,
         if (fidx.link_of[j][pos] == l) terms.push_back({fvar(j, pos), 1.0});
     if (!terms.empty()) b.add_le(terms, std::max(0.0, alloc.link[l]));
   }
-  const auto sol = solver::solve_simplex(b.build());
-  SORA_CHECK_MSG(sol.ok(), "n-tier violation LP failed");
+  SolveOutcome lp_outcome;
+  const auto sol =
+      solve_lp_with_fallback(b.build(), solver::LpSolveOptions{}, &lp_outcome);
+  if (!sol.ok()) {
+    // Can't prove feasibility: report "maximally violated" so the caller's
+    // repair step runs (it solves an independent LP) instead of aborting.
+    SORA_LOG_WARN << "ntier: violation LP failed at t=" << t << " ("
+                  << solver::to_string(sol.status)
+                  << "); treating the slot as violated";
+    return kInf;
+  }
   return std::max(worst, sol.objective);
 }
 
@@ -583,7 +621,8 @@ class NTierSlotSolver {
   }
 
   NTierAllocation solve(const InputsView& view, std::size_t t,
-                        const NTierAllocation& prev) {
+                        const NTierAllocation& prev,
+                        SolveOutcome* outcome_out = nullptr) {
     SORA_TRACE_SPAN("ntier/slot");
     const Vec demand_row = view.demand_row(t);
     check_demand_reachable(inst_, demand_row, t);
@@ -646,22 +685,112 @@ class NTierSlotSolver {
     for (std::size_t l = 0; l < inst_.num_links(); ++l)
       z[objective.yvar(l)] = z[objective.yvar(l)] * 1.01 + 1e-6;
 
-    const auto result =
-        solver::solve_barrier(objective, g_, h_, z, options_.ipm, &scratch_);
-    SORA_CHECK_MSG(result.ok(),
-                   "n-tier P2 failed at t=" + std::to_string(t) + ": " +
-                       result.detail);
+    const ResilienceOptions& res = options_.resilience;
+    SolveOutcome outcome;
+    std::size_t attempt = 0;
+    solver::IpmResult result;
+    const auto note = [&outcome](const std::string& what) {
+      if (!outcome.detail.empty()) outcome.detail += "; ";
+      outcome.detail += what;
+    };
+    const auto barrier_attempt = [&](const solver::IpmOptions& o,
+                                     SolveBackend backend) {
+      result = solver::solve_barrier(objective, g_, h_, z, o, &scratch_);
+      apply_fault(consult_fault_hook(t, attempt), result.status, result.x);
+      if (result.ok() && !all_finite(result.x)) {
+        result.status = solver::SolveStatus::kNumericalError;
+        result.detail += result.detail.empty() ? "non-finite solution"
+                                               : " [non-finite solution]";
+      }
+      ++attempt;
+      outcome.backend = backend;
+      outcome.status = result.status;
+      if (!result.ok())
+        note(std::string(to_string(backend)) + ": " +
+             (result.detail.empty() ? solver::to_string(result.status)
+                                    : result.detail));
+      return result.ok();
+    };
+
+    bool solved = barrier_attempt(options_.ipm, SolveBackend::kColdIpm);
+    if (!solved && !res.enabled)
+      SORA_CHECK_MSG(false, "n-tier P2 failed at t=" + std::to_string(t) +
+                                ": " + outcome.detail);
+    if (!solved) {
+      SORA_LOG_WARN << "ntier: P2 barrier failed at t=" << t << " ("
+                    << outcome.detail << "); entering fallback chain";
+      if (res.allow_tightened) {
+        // Conservative restart: smaller barrier growth, bigger budgets.
+        solver::IpmOptions tight = options_.ipm;
+        tight.mu = 5.0;
+        tight.max_newton_steps *= 4;
+        tight.max_steps_per_center *= 2;
+        solved = barrier_attempt(tight, SolveBackend::kTightenedIpm);
+      }
+    }
 
     NTierAllocation a{Vec(inst_.num_nodes(), 0.0),
                       Vec(inst_.num_links(), 0.0)};
-    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
-      a.node[v] = inst_.node_capacity[v] > 0.0
-                      ? std::max(0.0, result.x[objective.xvar(v)])
-                      : 0.0;
-    for (std::size_t l = 0; l < inst_.num_links(); ++l)
-      a.link[l] = inst_.link_capacity[l] > 0.0
-                      ? std::max(0.0, result.x[objective.yvar(l)])
-                      : 0.0;
+    if (solved) {
+      for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
+        a.node[v] = inst_.node_capacity[v] > 0.0
+                        ? std::max(0.0, result.x[objective.xvar(v)])
+                        : 0.0;
+      for (std::size_t l = 0; l < inst_.num_links(); ++l)
+        a.link[l] = inst_.link_capacity[l] > 0.0
+                        ? std::max(0.0, result.x[objective.yvar(l)])
+                        : 0.0;
+    }
+    if (!solved && res.allow_lp_fallback) {
+      // One-shot LP on the same slot: linear prices plus the linear
+      // reconfiguration surrogate over the identical routing polyhedron.
+      bool window_ok = true;
+      SolveOutcome lp_outcome;
+      const NTierTrajectory one =
+          solve_ntier_window(inst_, view, t, t + 1, prev, nullptr,
+                             solver::LpSolveOptions{}, &window_ok,
+                             &lp_outcome, t, attempt);
+      attempt += lp_outcome.attempts;
+      outcome.backend = lp_outcome.backend;
+      outcome.status = lp_outcome.status;
+      if (!lp_outcome.detail.empty()) note(lp_outcome.detail);
+      if (window_ok) {
+        a = one.slots[0];
+        solved = true;
+      }
+    }
+    if (!solved && res.allow_degradation) {
+      // Graceful degradation: hold x_{t-1} and repair coverage with the
+      // cheapest additive push. Terminal stage, never fault-injected.
+      ++attempt;
+      bool repaired = false;
+      SolveOutcome rep;
+      a = ntier_repair(inst_, t, prev, solver::LpSolveOptions{}, &repaired,
+                       &rep);
+      outcome.backend = SolveBackend::kHoldRepair;
+      if (rep.ok()) {
+        solved = true;
+        outcome.status = solver::SolveStatus::kOptimal;
+        outcome.degraded = true;
+        outcome.repair_cost_delta = rep.repair_cost_delta;
+      } else {
+        outcome.status = rep.status;
+        note("hold_repair: " + (rep.detail.empty()
+                                    ? std::string(solver::to_string(rep.status))
+                                    : rep.detail));
+      }
+    }
+    outcome.attempts = attempt;
+    observe_outcome(outcome);
+    if (!solved) {
+      if (res.throw_on_exhaustion)
+        SORA_CHECK_MSG(false, "n-tier P2 fallback chain exhausted at t=" +
+                                  std::to_string(t) + ": " + outcome.detail);
+      SORA_LOG_ERROR << "ntier: fallback chain exhausted at t=" << t << " ("
+                     << outcome.detail << "); holding the previous decision";
+      a = prev;
+    }
+    if (outcome_out != nullptr) *outcome_out = outcome;
     return a;
   }
 
@@ -748,7 +877,8 @@ class NTierSlotSolver {
 
 NTierTrajectory run_ntier_roa(const NTierInstance& inst,
                               const NTierRoaOptions& options,
-                              const NTierInputs* inputs) {
+                              const NTierInputs* inputs,
+                              NTierRoaHealth* health) {
   SORA_TRACE_SPAN("ntier/run");
   const InputsView view{inst, inputs};
   NTierSlotSolver solver(inst, options);
@@ -757,8 +887,19 @@ NTierTrajectory run_ntier_roa(const NTierInstance& inst,
   static obs::Counter* slots = &obs::Registry::global().counter(
       "sora_ntier_slots_total", "N-tier ROA slots solved");
   for (std::size_t t = 0; t < inst.horizon; ++t) {
-    prev = solver.solve(view, t, prev);
+    SolveOutcome outcome;
+    prev = solver.solve(view, t, prev, &outcome);
     traj.slots.push_back(prev);
+    if (health != nullptr) {
+      health->slot_health.push_back(SlotHealth{t, outcome.status,
+                                               outcome.backend,
+                                               outcome.attempts,
+                                               outcome.degraded,
+                                               outcome.repair_cost_delta});
+      if (outcome.fell_back()) ++health->fallback_slots;
+      if (outcome.degraded) ++health->degraded_slots;
+      health->repair_cost_delta += outcome.repair_cost_delta;
+    }
     if (obs::metrics_enabled()) slots->inc();
   }
   return traj;
@@ -789,8 +930,13 @@ NTierTrajectory run_ntier_offline(const NTierInstance& inst,
 NTierAllocation ntier_repair(const NTierInstance& inst, std::size_t t,
                              const NTierAllocation& planned,
                              const solver::LpSolveOptions& lp,
-                             bool* repaired) {
+                             bool* repaired, SolveOutcome* outcome) {
   if (repaired != nullptr) *repaired = false;
+  if (outcome != nullptr) {
+    *outcome = SolveOutcome{};
+    outcome->status = solver::SolveStatus::kOptimal;
+    outcome->backend = SolveBackend::kHoldRepair;
+  }
   if (ntier_slot_violation(inst, t, planned) <= 1e-7) return planned;
   if (repaired != nullptr) *repaired = true;
 
@@ -867,9 +1013,24 @@ NTierAllocation ntier_repair(const NTierInstance& inst, std::size_t t,
     b.add_ge(terms, -planned.link[l]);
   }
 
-  const auto sol = solver::solve_lp(b.build(), lp);
-  SORA_CHECK_MSG(sol.ok(), "n-tier repair LP failed at t=" +
-                               std::to_string(t) + ": " + sol.detail);
+  SolveOutcome lp_outcome;
+  const auto sol = solve_lp_with_fallback(b.build(), lp, &lp_outcome);
+  if (!sol.ok()) {
+    if (outcome != nullptr) {
+      *outcome = lp_outcome;
+      SORA_LOG_ERROR << "ntier: repair LP failed at t=" << t << " ("
+                     << solver::to_string(sol.status)
+                     << "); returning the planned allocation unrepaired";
+      return planned;
+    }
+    SORA_CHECK_MSG(false, "n-tier repair LP failed at t=" +
+                              std::to_string(t) + ": " + sol.detail);
+  }
+  if (outcome != nullptr) {
+    *outcome = lp_outcome;
+    outcome->backend = SolveBackend::kHoldRepair;
+    outcome->repair_cost_delta = sol.objective;
+  }
   NTierAllocation out = planned;
   for (std::size_t v = 0; v < V; ++v)
     out.node[v] += std::max(0.0, sol.x[dxvar(v)]);
@@ -933,8 +1094,15 @@ struct NTierApplier {
 
   void apply(std::size_t t, const NTierAllocation& planned) {
     bool repaired = false;
-    NTierAllocation final_alloc = ntier_repair(inst, t, planned, lp, &repaired);
+    SolveOutcome rep;
+    NTierAllocation final_alloc =
+        ntier_repair(inst, t, planned, lp, &repaired, &rep);
     if (repaired) ++run.repairs;
+    if (!rep.ok()) {
+      // A failed repair must not kill the run: apply the planned decision
+      // unrepaired and account the slot as a failed repair.
+      ++run.failed_repairs;
+    }
     prev = final_alloc;
     run.trajectory.slots.push_back(std::move(final_alloc));
   }
@@ -957,9 +1125,11 @@ NTierControlRun run_ntier_fhc(const NTierInstance& inst,
     forecast.observe(inst, t0);
     const NTierInputs in = forecast.inputs();
     const InputsView view{inst, &in};
+    bool window_ok = true;
     const NTierTrajectory block =
         solve_ntier_window(inst, view, t0, t1, applier.prev, nullptr,
-                           options.lp);
+                           options.lp, &window_ok);
+    if (!window_ok) applier.run.degraded_slots += block.slots.size();
     for (std::size_t rel = 0; rel < block.slots.size(); ++rel)
       applier.apply(t0 + rel, block.slots[rel]);
   }
@@ -976,9 +1146,11 @@ NTierControlRun run_ntier_rhc(const NTierInstance& inst,
     forecast.observe(inst, t);
     const NTierInputs in = forecast.inputs();
     const InputsView view{inst, &in};
+    bool window_ok = true;
     const NTierTrajectory window =
         solve_ntier_window(inst, view, t, t1, applier.prev, nullptr,
-                           options.lp);
+                           options.lp, &window_ok);
+    if (!window_ok) ++applier.run.degraded_slots;
     applier.apply(t, window.slots[0]);
   }
   return applier.finish();
@@ -999,15 +1171,20 @@ NTierControlRun run_ntier_rfhc(const NTierInstance& inst,
     std::vector<NTierAllocation> chain;
     NTierAllocation chain_prev = applier.prev;
     for (std::size_t t = t0; t < t1; ++t) {
-      chain_prev = slot_solver.solve(view, t, chain_prev);
+      SolveOutcome oc;
+      chain_prev = slot_solver.solve(view, t, chain_prev, &oc);
+      if (oc.degraded) ++applier.run.degraded_slots;
       chain.push_back(chain_prev);
     }
     if (t1 - t0 == 1) {
       applier.apply(t0, chain[0]);
       continue;
     }
+    bool window_ok = true;
     const NTierTrajectory block = solve_ntier_window(
-        inst, view, t0, t1, applier.prev, &chain.back(), options.lp);
+        inst, view, t0, t1, applier.prev, &chain.back(), options.lp,
+        &window_ok);
+    if (!window_ok) applier.run.degraded_slots += block.slots.size();
     for (std::size_t rel = 0; rel < block.slots.size(); ++rel)
       applier.apply(t0 + rel, block.slots[rel]);
   }
@@ -1032,15 +1209,20 @@ NTierControlRun run_ntier_rrhc(const NTierInstance& inst,
     const InputsView view{inst, &in};
     const std::size_t t1 = std::min(inst.horizon, t + w);
     while (chain.size() < t1) {
-      chain_prev = slot_solver.solve(view, chain.size(), chain_prev);
+      SolveOutcome oc;
+      chain_prev = slot_solver.solve(view, chain.size(), chain_prev, &oc);
+      if (oc.degraded) ++applier.run.degraded_slots;
       chain.push_back(chain_prev);
     }
     if (t1 - t == 1) {
       applier.apply(t, chain[t]);
       continue;
     }
+    bool window_ok = true;
     const NTierTrajectory window = solve_ntier_window(
-        inst, view, t, t1, applier.prev, &chain[t1 - 1], options.lp);
+        inst, view, t, t1, applier.prev, &chain[t1 - 1], options.lp,
+        &window_ok);
+    if (!window_ok) ++applier.run.degraded_slots;
     applier.apply(t, window.slots[0]);
   }
   return applier.finish();

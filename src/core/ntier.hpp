@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/resilience.hpp"
 #include "linalg/vector_ops.hpp"
 #include "solver/ipm.hpp"
 #include "solver/lp_solve.hpp"
@@ -99,6 +100,10 @@ struct NTierTrajectory {
 struct NTierRoaOptions {
   double eps = 1e-2;
   solver::IpmOptions ipm;
+  // Fallback-chain configuration (cold restart with tightened barrier
+  // parameters -> one-shot LP -> hold + repair). resilience.enabled = false
+  // restores the fail-fast behaviour.
+  ResilienceOptions resilience;
   NTierRoaOptions() { ipm.tol = 1e-7; }
 };
 
@@ -119,9 +124,19 @@ struct NTierInputs {
   const std::vector<std::vector<double>>* node_price = nullptr;  // [t][v]
 };
 
+/// Aggregated per-slot solver health of an n-tier ROA run (mirrors the
+/// two-tier RoaRun health fields).
+struct NTierRoaHealth {
+  std::vector<SlotHealth> slot_health;
+  std::size_t fallback_slots = 0;
+  std::size_t degraded_slots = 0;
+  double repair_cost_delta = 0.0;
+};
+
 NTierTrajectory run_ntier_roa(const NTierInstance& inst,
                               const NTierRoaOptions& options = {},
-                              const NTierInputs* inputs = nullptr);
+                              const NTierInputs* inputs = nullptr,
+                              NTierRoaHealth* health = nullptr);
 
 /// Greedy sequence of one-shot LPs.
 NTierTrajectory run_ntier_greedy(const NTierInstance& inst,
@@ -146,6 +161,11 @@ struct NTierControlRun {
   NTierTrajectory trajectory;
   double cost = 0.0;
   std::size_t repairs = 0;
+  // Resilience accounting: slots planned by holding the previous decision
+  // after a window-LP / chain failure, and repairs whose LP itself failed
+  // (the planned decision was applied unrepaired).
+  std::size_t degraded_slots = 0;
+  std::size_t failed_repairs = 0;
 };
 
 NTierControlRun run_ntier_fhc(const NTierInstance& inst,
@@ -159,10 +179,13 @@ NTierControlRun run_ntier_rrhc(const NTierInstance& inst,
 
 /// Minimal additive repair: extra (node, link) resources so that a routing
 /// of the TRUE demand at slot t fits inside the allocation. Exposed for
-/// tests.
+/// tests. When `outcome` is null a failed repair LP throws CheckError;
+/// when non-null the failure is reported there and `planned` is returned
+/// unchanged (the callers count it as a failed repair instead of dying).
 NTierAllocation ntier_repair(const NTierInstance& inst, std::size_t t,
                              const NTierAllocation& planned,
                              const solver::LpSolveOptions& lp = {},
-                             bool* repaired = nullptr);
+                             bool* repaired = nullptr,
+                             SolveOutcome* outcome = nullptr);
 
 }  // namespace sora::core

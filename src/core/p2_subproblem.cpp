@@ -460,6 +460,9 @@ P2Solution solve_p2_dense(const Instance& inst, const InputSeries& inputs,
 
   P2Solution out;
   extract_primal(layout, result, out);
+  out.outcome.status = result.status;
+  out.outcome.backend = SolveBackend::kColdIpm;
+  out.outcome.attempts = 1;
   out.timing.build_seconds = build_seconds;
   out.timing.solve_seconds = barrier_seconds;
   out.timing.newton_steps = result.newton_steps;
@@ -860,13 +863,248 @@ struct P2Workspace::Impl {
     return false;
   }
 
+  // A cold start for a fallback attempt: the even-split anchor when it is
+  // strictly interior, else phase-I. `anchor` was filled by compute_start.
+  const Vec& cold_start_point() {
+    if (min_slack(anchor) > 0.0) {
+      start = anchor;
+    } else {
+      start = phase1_feasible_point(g, h, layout.size());
+    }
+    return start;
+  }
+
+  // Zero-fill the named multipliers: fallback backends (LP surrogate,
+  // hold + repair) produce no meaningful KKT certificate for P2.
+  void zero_duals(P2Solution& out) const {
+    out.rho.assign(layout.num_edges, 0.0);
+    out.phi.assign(layout.num_edges, 0.0);
+    out.sigma.assign(layout.num_edges, 0.0);
+    out.gamma.assign(inst.num_tier1(), 0.0);
+    out.delta.assign(inst.num_tier2(), 0.0);
+    out.theta.assign(layout.num_edges, 0.0);
+  }
+
+  // Unpack a [x|y|s|z] point into the solution, clamped to the nonnegative
+  // orthant, and evaluate the true (regularized) P2 objective there.
+  void fill_from_point(const Vec& v, P2Solution& out) {
+    out.alloc = Allocation::zeros(layout.num_edges);
+    out.s.assign(layout.num_edges, 0.0);
+    Vec clamped(layout.size(), 0.0);
+    for (std::size_t k = 0; k < layout.size(); ++k)
+      clamped[k] = std::max(0.0, v[k]);
+    for (std::size_t e = 0; e < layout.num_edges; ++e) {
+      out.alloc.x[e] = clamped[layout.x(e)];
+      out.alloc.y[e] = clamped[layout.y(e)];
+      if (layout.with_z) out.alloc.z[e] = clamped[layout.z(e)];
+      out.s[e] = clamped[layout.s(e)];
+    }
+    out.objective = objective.value(clamped);
+    last_opt = std::move(clamped);
+    has_last = true;
+  }
+
+  // LP fallback: minimize the linear part of P2's objective plus a linear
+  // surrogate of the reconfiguration cost (u >= increase of the regularized
+  // aggregates) over the SAME patched polyhedron G v <= h. Keeps the slot
+  // decision near-optimal for P1 even though the entropic terms are dropped.
+  bool solve_lp_surrogate(const InputSeries& inputs, std::size_t t,
+                          const Allocation& prev, P2Solution& out,
+                          SolveOutcome& outcome, std::size_t& attempt) {
+    const std::size_t E = layout.num_edges;
+    solver::LpBuilder b;
+    for (std::size_t e = 0; e < E; ++e)
+      b.add_variable(0.0, kInf, inputs.price(t, inst.edges[e].tier2));
+    for (std::size_t e = 0; e < E; ++e)
+      b.add_variable(0.0, kInf, inst.edge_price[e]);
+    for (std::size_t e = 0; e < E; ++e) b.add_variable(0.0, kInf, 0.0);
+    if (layout.with_z)
+      for (std::size_t e = 0; e < E; ++e)
+        b.add_variable(0.0, kInf, inst.tier1_price[t][inst.edges[e].tier1]);
+    // Reconfiguration surrogate: u >= (new aggregate) - (previous aggregate),
+    // charged at the paper's switching prices b_i / d_e / b'_j.
+    const Vec prev_x_totals = tier2_totals(inst, prev.x);
+    for (std::size_t i = 0; i < inst.num_tier2(); ++i) {
+      const std::size_t u =
+          b.add_variable(0.0, kInf, inst.tier2_reconfig[i]);
+      std::vector<solver::LinTerm> terms{{u, 1.0}};
+      for (const std::size_t e : inst.edges_of_tier2[i])
+        terms.push_back({layout.x(e), -1.0});
+      b.add_ge(terms, -prev_x_totals[i]);
+    }
+    for (std::size_t e = 0; e < E; ++e) {
+      const std::size_t w = b.add_variable(0.0, kInf, inst.edge_reconfig[e]);
+      b.add_ge({{w, 1.0}, {layout.y(e), -1.0}}, -prev.y[e]);
+    }
+    if (layout.with_z) {
+      const Vec prev_z_totals = tier1_totals(inst, prev.z);
+      for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+        const std::size_t u =
+            b.add_variable(0.0, kInf, inst.tier1_reconfig[j]);
+        std::vector<solver::LinTerm> terms{{u, 1.0}};
+        for (const std::size_t e : inst.edges_of_tier1[j])
+          terms.push_back({layout.z(e), -1.0});
+        b.add_ge(terms, -prev_z_totals[j]);
+      }
+    }
+    // The patched CSR polyhedron, row by row. Disabled conditional rows are
+    // all-zero (inert 0 <= 1) and empty gamma rows were validated by
+    // even_split_start_into — skip both.
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      std::vector<solver::LinTerm> terms;
+      const auto row = g.row(r);
+      for (std::size_t k = 0; k < row.size; ++k)
+        if (row.vals[k] != 0.0) terms.push_back({row.cols[k], row.vals[k]});
+      if (terms.empty()) continue;
+      b.add_le(terms, h[r]);
+    }
+
+    SolveOutcome lp_outcome;
+    const solver::LpSolution sol = solve_lp_with_fallback(
+        b.build(), solver::LpSolveOptions{}, &lp_outcome, t, attempt);
+    attempt += lp_outcome.attempts;
+    if (!lp_outcome.detail.empty()) {
+      if (!outcome.detail.empty()) outcome.detail += "; ";
+      outcome.detail += lp_outcome.detail;
+    }
+    outcome.backend = lp_outcome.backend;
+    outcome.status = sol.status;
+    if (!sol.ok()) return false;
+
+    Vec v(sol.x.begin(),
+          sol.x.begin() + static_cast<std::ptrdiff_t>(layout.size()));
+    fill_from_point(v, out);
+    zero_duals(out);
+    out.newton_steps = 0;
+    return true;
+  }
+
+  // Graceful degradation: hold x_{t-1} and, when coverage (3c) is short,
+  // push the cheapest additive repair (dx, dy, ds[, dz] >= 0) mirroring the
+  // feasibility-transfer construction of (3d)/(3e). Never fault-injected:
+  // this is the terminal stage of the chain.
+  bool hold_and_repair(const InputSeries& inputs, std::size_t t,
+                       const Allocation& prev, P2Solution& out,
+                       SolveOutcome& outcome, std::size_t& attempt) {
+    const std::size_t E = layout.num_edges;
+    ++attempt;
+    Vec held(layout.size(), 0.0);
+    for (std::size_t e = 0; e < E; ++e) {
+      held[layout.x(e)] = std::max(0.0, prev.x[e]);
+      held[layout.y(e)] = std::max(0.0, prev.y[e]);
+      if (layout.with_z) held[layout.z(e)] = std::max(0.0, prev.z[e]);
+      double s = std::min(held[layout.x(e)], held[layout.y(e)]);
+      if (layout.with_z) s = std::min(s, held[layout.z(e)]);
+      held[layout.s(e)] = s;
+    }
+    Vec residual(inst.num_tier1(), 0.0);
+    bool needs_repair = false;
+    for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+      double served = 0.0;
+      for (const std::size_t e : inst.edges_of_tier1[j])
+        served += held[layout.s(e)];
+      residual[j] = std::max(0.0, inputs.lambda(t, j) - served);
+      needs_repair = needs_repair || residual[j] > 1e-12;
+    }
+
+    double repair_cost = 0.0;
+    if (needs_repair) {
+      // Additive repair LP in the deltas; capacities bound the push.
+      solver::LpBuilder b;
+      std::vector<std::size_t> dx(E), dy(E), ds(E), dz(layout.with_z ? E : 0);
+      for (std::size_t e = 0; e < E; ++e) {
+        const std::size_t i = inst.edges[e].tier2;
+        dx[e] = b.add_variable(
+            0.0, kInf,
+            inputs.price(t, i) + inst.tier2_reconfig[i]);
+        dy[e] = b.add_variable(
+            0.0, std::max(0.0, inst.edge_capacity[e] - held[layout.y(e)]),
+            inst.edge_price[e] + inst.edge_reconfig[e]);
+        ds[e] = b.add_variable(0.0, kInf, 0.0);
+        if (layout.with_z) {
+          const std::size_t j = inst.edges[e].tier1;
+          dz[e] = b.add_variable(
+              0.0, kInf,
+              inst.tier1_price[t][j] + inst.tier1_reconfig[j]);
+        }
+      }
+      for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+        if (residual[j] <= 1e-12) continue;
+        std::vector<solver::LinTerm> terms;
+        for (const std::size_t e : inst.edges_of_tier1[j])
+          terms.push_back({ds[e], 1.0});
+        b.add_ge(terms, residual[j]);
+      }
+      for (std::size_t e = 0; e < E; ++e) {
+        // s + ds must stay under each of x + dx, y + dy (and z + dz).
+        const double s0 = held[layout.s(e)];
+        b.add_le({{ds[e], 1.0}, {dx[e], -1.0}}, held[layout.x(e)] - s0);
+        b.add_le({{ds[e], 1.0}, {dy[e], -1.0}}, held[layout.y(e)] - s0);
+        if (layout.with_z)
+          b.add_le({{ds[e], 1.0}, {dz[e], -1.0}}, held[layout.z(e)] - s0);
+      }
+      const Vec prev_x_totals = tier2_totals(inst, prev.x);
+      for (std::size_t i = 0; i < inst.num_tier2(); ++i) {
+        if (inst.edges_of_tier2[i].empty()) continue;
+        std::vector<solver::LinTerm> terms;
+        for (const std::size_t e : inst.edges_of_tier2[i])
+          terms.push_back({dx[e], 1.0});
+        b.add_le(terms,
+                 std::max(0.0, inst.tier2_capacity[i] - prev_x_totals[i]));
+      }
+      if (layout.with_z) {
+        const Vec prev_z_totals = tier1_totals(inst, prev.z);
+        for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
+          if (inst.edges_of_tier1[j].empty()) continue;
+          std::vector<solver::LinTerm> terms;
+          for (const std::size_t e : inst.edges_of_tier1[j])
+            terms.push_back({dz[e], 1.0});
+          b.add_le(terms,
+                   std::max(0.0, inst.tier1_capacity[j] - prev_z_totals[j]));
+        }
+      }
+
+      SolveOutcome lp_outcome;
+      const solver::LpSolution sol =
+          solve_lp_with_fallback(b.build(), solver::LpSolveOptions{},
+                                 &lp_outcome, kNoFaultSlot);
+      if (!sol.ok()) {
+        if (!outcome.detail.empty()) outcome.detail += "; ";
+        outcome.detail += std::string("hold_repair: ") +
+                          (lp_outcome.detail.empty()
+                               ? solver::to_string(sol.status)
+                               : lp_outcome.detail);
+        outcome.status = sol.status;
+        outcome.backend = SolveBackend::kHoldRepair;
+        return false;
+      }
+      for (std::size_t e = 0; e < E; ++e) {
+        held[layout.x(e)] += sol.x[dx[e]];
+        held[layout.y(e)] += sol.x[dy[e]];
+        held[layout.s(e)] += sol.x[ds[e]];
+        if (layout.with_z) held[layout.z(e)] += sol.x[dz[e]];
+      }
+      repair_cost = sol.objective;
+    }
+
+    fill_from_point(held, out);
+    zero_duals(out);
+    out.newton_steps = 0;
+    outcome.status = solver::SolveStatus::kOptimal;
+    outcome.backend = SolveBackend::kHoldRepair;
+    outcome.degraded = true;
+    outcome.repair_cost_delta = repair_cost;
+    return true;
+  }
+
   P2Solution solve(const InputSeries& inputs, std::size_t t,
                    const Allocation& prev) {
     SORA_CHECK(t < inst.horizon);
     SORA_CHECK(prev.x.size() == inst.num_edges());
 
     if (!options.use_sparse) {
-      // The dense reference path (always cold-started).
+      // The dense reference path (always cold-started, fail-fast: it is the
+      // cross-validation oracle, so masking its failures would be a bug).
       return solve_p2_dense(inst, inputs, t, prev, options);
     }
 
@@ -888,47 +1126,138 @@ struct P2Workspace::Impl {
       }
     }
 
+    const ResilienceOptions& res = options.resilience;
+    SolveOutcome outcome;
+    std::size_t attempt = 0;
     solver::IpmResult result;
-    {
-      SORA_TRACE_SPAN("p2/barrier");
-      util::ScopedTimer solve_timer(&barrier_seconds);
-      result = solver::solve_barrier(objective, g, h, start, ipm, &scratch);
+
+    // One barrier attempt: solve, let the fault hook interfere, demote
+    // non-finite "optimal" answers, and record the failure trail.
+    const auto barrier_attempt = [&](const Vec& x0,
+                                     const solver::IpmOptions& o,
+                                     SolveBackend backend) {
+      {
+        SORA_TRACE_SPAN("p2/barrier");
+        util::ScopedTimer solve_timer(&barrier_seconds);
+        result = solver::solve_barrier(objective, g, h, x0, o, &scratch);
+      }
+      apply_fault(consult_fault_hook(t, attempt), result.status, result.x);
+      if (result.ok() && !all_finite(result.x)) {
+        result.status = solver::SolveStatus::kNumericalError;
+        result.detail += result.detail.empty() ? "non-finite solution"
+                                               : " [non-finite solution]";
+      }
+      ++attempt;
+      outcome.backend = backend;
+      outcome.status = result.status;
+      if (!result.ok()) {
+        if (!outcome.detail.empty()) outcome.detail += "; ";
+        outcome.detail += std::string(to_string(backend)) + ": " +
+                          (result.detail.empty()
+                               ? solver::to_string(result.status)
+                               : result.detail);
+      }
+      return result.ok();
+    };
+
+    bool solved =
+        barrier_attempt(start, ipm, warm ? SolveBackend::kWarmIpm
+                                         : SolveBackend::kColdIpm);
+
+    if (!solved && !res.enabled)
+      SORA_CHECK_MSG(false, "P2 barrier solve failed at t=" +
+                                std::to_string(t) + ": " + outcome.detail);
+
+    if (!solved) {
+      SORA_LOG_WARN << "p2: barrier failed at t=" << t << " ("
+                    << outcome.detail << "); entering fallback chain";
+      if (res.allow_cold_restart && warm)
+        solved = barrier_attempt(cold_start_point(), options.ipm,
+                                 SolveBackend::kColdIpm);
+      if (!solved && res.allow_tightened) {
+        // Conservative restart: smaller barrier growth, bigger budgets.
+        solver::IpmOptions tight = options.ipm;
+        tight.mu = 5.0;
+        tight.max_newton_steps *= 4;
+        tight.max_steps_per_center *= 2;
+        solved = barrier_attempt(cold_start_point(), tight,
+                                 SolveBackend::kTightenedIpm);
+      }
     }
-    SORA_CHECK_MSG(result.ok(),
-                   "P2 barrier solve failed at t=" + std::to_string(t) +
-                       ": " + result.detail);
 
     P2Solution out;
-    extract_primal(layout, result, out);
+    if (solved) {
+      extract_primal(layout, result, out);
+
+      // Named KKT multipliers; disabled conditional rows report zero.
+      const std::size_t E = layout.num_edges;
+      out.rho.assign(E, 0.0);
+      out.phi.assign(E, 0.0);
+      out.sigma.assign(E, 0.0);
+      out.gamma.assign(inst.num_tier1(), 0.0);
+      out.delta.assign(inst.num_tier2(), 0.0);
+      out.theta.assign(E, 0.0);
+      for (std::size_t e = 0; e < E; ++e) {
+        out.rho[e] = result.ineq_dual[rho_row[e]];
+        out.phi[e] = result.ineq_dual[phi_row[e]];
+        if (layout.with_z) out.sigma[e] = result.ineq_dual[sigma_row[e]];
+        if (theta_active[e]) out.theta[e] = result.ineq_dual[theta_row[e]];
+      }
+      for (std::size_t j = 0; j < inst.num_tier1(); ++j)
+        if (!inst.edges_of_tier1[j].empty())
+          out.gamma[j] = result.ineq_dual[gamma_row[j]];
+      for (std::size_t i = 0; i < inst.num_tier2(); ++i)
+        if (delta_active[i]) out.delta[i] = result.ineq_dual[delta_row[i]];
+
+      last_opt = result.x;
+      has_last = true;
+    } else {
+      util::ScopedTimer fallback_timer(&barrier_seconds);
+      if (res.allow_lp_fallback)
+        solved = solve_lp_surrogate(inputs, t, prev, out, outcome, attempt);
+      if (!solved && res.allow_degradation)
+        solved = hold_and_repair(inputs, t, prev, out, outcome, attempt);
+    }
+
+    outcome.attempts = attempt;
+    out.outcome = outcome;
+    observe_outcome(outcome);
+
+    if (!solved) {
+      // Chain exhausted. Hold the previous decision so the caller still has
+      // a trajectory point, and either throw or let the outcome tell.
+      fill_from_point_held(prev, out);
+      zero_duals(out);
+      out.outcome = outcome;
+      if (res.throw_on_exhaustion)
+        SORA_CHECK_MSG(false, "P2 fallback chain exhausted at t=" +
+                                  std::to_string(t) + ": " + outcome.detail);
+      SORA_LOG_ERROR << "p2: fallback chain exhausted at t=" << t << " ("
+                     << outcome.detail << "); holding previous decision";
+    }
+
     out.timing.build_seconds = build_seconds;
     out.timing.solve_seconds = barrier_seconds;
-    out.timing.newton_steps = result.newton_steps;
+    out.timing.newton_steps = out.newton_steps;
     out.timing.warm_started = warm;
     observe_p2_timing(out.timing);
-
-    // Named KKT multipliers; disabled conditional rows report zero.
-    const std::size_t E = layout.num_edges;
-    out.rho.assign(E, 0.0);
-    out.phi.assign(E, 0.0);
-    out.sigma.assign(E, 0.0);
-    out.gamma.assign(inst.num_tier1(), 0.0);
-    out.delta.assign(inst.num_tier2(), 0.0);
-    out.theta.assign(E, 0.0);
-    for (std::size_t e = 0; e < E; ++e) {
-      out.rho[e] = result.ineq_dual[rho_row[e]];
-      out.phi[e] = result.ineq_dual[phi_row[e]];
-      if (layout.with_z) out.sigma[e] = result.ineq_dual[sigma_row[e]];
-      if (theta_active[e]) out.theta[e] = result.ineq_dual[theta_row[e]];
-    }
-    for (std::size_t j = 0; j < inst.num_tier1(); ++j)
-      if (!inst.edges_of_tier1[j].empty())
-        out.gamma[j] = result.ineq_dual[gamma_row[j]];
-    for (std::size_t i = 0; i < inst.num_tier2(); ++i)
-      if (delta_active[i]) out.delta[i] = result.ineq_dual[delta_row[i]];
-
-    last_opt = result.x;
-    has_last = true;
     return out;
+  }
+
+  // Exhaustion path: hold x_{t-1} verbatim (coverage may be short — the
+  // outcome's !ok() status reports that honestly).
+  void fill_from_point_held(const Allocation& prev, P2Solution& out) {
+    Vec held(layout.size(), 0.0);
+    for (std::size_t e = 0; e < layout.num_edges; ++e) {
+      held[layout.x(e)] = std::max(0.0, prev.x[e]);
+      held[layout.y(e)] = std::max(0.0, prev.y[e]);
+      if (layout.with_z) held[layout.z(e)] = std::max(0.0, prev.z[e]);
+      double s = std::min(held[layout.x(e)], held[layout.y(e)]);
+      if (layout.with_z) s = std::min(s, held[layout.z(e)]);
+      held[layout.s(e)] = s;
+    }
+    fill_from_point(held, out);
+    out.newton_steps = 0;
   }
 };
 

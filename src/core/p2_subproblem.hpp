@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "core/p1_model.hpp"
+#include "core/resilience.hpp"
 #include "core/types.hpp"
 #include "solver/ipm.hpp"
 
@@ -52,6 +53,12 @@ struct RoaOptions {
   // start) until the blended point is strictly feasible.
   double warm_start_pull = 0.05;
 
+  // Fallback-chain configuration for the sparse pipeline: a failed barrier
+  // solve walks cold restart -> tightened barrier -> simplex/PDHG on the
+  // linear surrogate -> hold x_{t-1} + cheapest coverage repair instead of
+  // aborting. The dense reference path stays fail-fast.
+  ResilienceOptions resilience;
+
   RoaOptions() { ipm.tol = 1e-6; }
 };
 
@@ -69,6 +76,10 @@ struct P2Solution {
   double objective = 0.0;  // P2 objective (regularized)
   std::size_t newton_steps = 0;
   P2Timing timing;
+
+  // How this slot's decision was produced: final status, backend, chain
+  // depth, and (for degraded slots) the repair's cost delta.
+  SolveOutcome outcome;
 
   // KKT multipliers of P2(t)'s constraints (the paper's Step 3 notation),
   // recovered from the barrier solve. Zero where the constraint was not

@@ -6,6 +6,7 @@
 #include "core/cost.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace sora::core {
@@ -57,9 +58,14 @@ PredictedInputs make_predictions(const Instance& inst,
 Allocation repair_allocation(const Instance& inst, std::size_t t,
                              const Allocation& planned,
                              const solver::LpSolveOptions& lp,
-                             bool* repaired) {
+                             bool* repaired, SolveOutcome* outcome) {
   SORA_TRACE_SPAN("predictive/repair");
   if (repaired != nullptr) *repaired = false;
+  if (outcome != nullptr) {
+    *outcome = SolveOutcome{};
+    outcome->status = solver::SolveStatus::kOptimal;
+    outcome->backend = SolveBackend::kHoldRepair;
+  }
   const bool with_z = inst.has_tier1();
   const auto covered_base = [&](std::size_t e) {
     double m = std::min(planned.x[e], planned.y[e]);
@@ -149,9 +155,24 @@ Allocation repair_allocation(const Instance& inst, std::size_t t,
     }
   }
 
-  const auto sol = solver::solve_lp(b.build(), lp);
-  SORA_CHECK_MSG(sol.ok(), "repair LP failed at t=" + std::to_string(t) +
-                               ": " + sol.detail);
+  SolveOutcome lp_outcome;
+  const auto sol = solve_lp_with_fallback(b.build(), lp, &lp_outcome);
+  if (!sol.ok()) {
+    if (outcome != nullptr) {
+      *outcome = lp_outcome;
+      SORA_LOG_ERROR << "predictive: repair LP failed at t=" << t << " ("
+                     << solver::to_string(sol.status)
+                     << "); returning the planned allocation unrepaired";
+      return planned;
+    }
+    SORA_CHECK_MSG(false, "repair LP failed at t=" + std::to_string(t) +
+                              ": " + sol.detail);
+  }
+  if (outcome != nullptr) {
+    *outcome = lp_outcome;
+    outcome->backend = SolveBackend::kHoldRepair;
+    outcome->repair_cost_delta = sol.objective;
+  }
 
   Allocation out = planned;
   for (std::size_t e = 0; e < E; ++e) {
@@ -181,7 +202,10 @@ struct Applier {
   void apply(std::size_t t, const Allocation& planned) {
     SORA_TRACE_SPAN("predictive/apply_slot");
     bool repaired = false;
-    Allocation final_alloc = repair_allocation(inst, t, planned, lp, &repaired);
+    SolveOutcome rep;
+    Allocation final_alloc =
+        repair_allocation(inst, t, planned, lp, &repaired, &rep);
+    if (!rep.ok()) ++run.failed_repairs;
     if (repaired) {
       ++run.repairs;
       if (obs::metrics_enabled()) {

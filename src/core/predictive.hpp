@@ -60,6 +60,10 @@ struct ControlRun {
   Trajectory trajectory;
   CostBreakdown cost;         // against true inputs
   std::size_t repairs = 0;    // slots where the repair LP had to add capacity
+  // Slots whose repair LP itself failed on every backend: the planned
+  // allocation was applied unrepaired (possibly under-covered) instead of
+  // killing the run. Always 0 on a healthy solver.
+  std::size_t failed_repairs = 0;
 };
 
 ControlRun run_fhc(const Instance& inst, const ControlOptions& options);
@@ -73,10 +77,14 @@ ControlRun run_rrhc(const Instance& inst, const ControlOptions& options);
 ControlRun run_afhc(const Instance& inst, const ControlOptions& options);
 
 /// Minimal-cost additive repair making `planned` cover the TRUE demand at
-/// slot t (no-op if it already does). Exposed for tests.
+/// slot t (no-op if it already does). Exposed for tests. When `outcome` is
+/// null a failed repair LP throws CheckError; when non-null the failure is
+/// reported there and `planned` comes back unchanged so the caller can
+/// degrade instead of dying.
 Allocation repair_allocation(const Instance& inst, std::size_t t,
                              const Allocation& planned,
                              const solver::LpSolveOptions& lp = {},
-                             bool* repaired = nullptr);
+                             bool* repaired = nullptr,
+                             SolveOutcome* outcome = nullptr);
 
 }  // namespace sora::core

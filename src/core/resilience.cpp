@@ -1,0 +1,222 @@
+#include "core/resilience.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "obs/obs.hpp"
+#include "util/logging.hpp"
+
+namespace sora::core {
+
+const char* to_string(SolveBackend backend) {
+  switch (backend) {
+    case SolveBackend::kWarmIpm: return "warm_ipm";
+    case SolveBackend::kColdIpm: return "cold_ipm";
+    case SolveBackend::kTightenedIpm: return "tightened_ipm";
+    case SolveBackend::kSimplex: return "simplex";
+    case SolveBackend::kPdhg: return "pdhg";
+    case SolveBackend::kHoldRepair: return "hold_repair";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kIterationLimit: return "iteration_limit";
+    case FaultKind::kNumericalError: return "numerical_error";
+    case FaultKind::kNanPoison: return "nan_poison";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection hook.
+
+namespace {
+
+std::mutex g_hook_mu;
+std::shared_ptr<const FaultHook> g_hook;                 // guarded by g_hook_mu
+std::atomic<bool> g_hook_installed{false};               // fast-path gate
+
+// Handles resolved once; see Registry docs for the naming scheme.
+struct ResilienceMetrics {
+  obs::Counter* solves;
+  obs::Counter* fallbacks;
+  obs::Counter* degraded;
+  obs::Counter* exhausted;
+  obs::Counter* faults_injected;
+  obs::Histogram* attempts;
+  obs::Counter* backend[kNumBackends];
+};
+
+const ResilienceMetrics& resilience_metrics() {
+  static const ResilienceMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    ResilienceMetrics m{
+        &reg.counter("sora_resilience_solves_total",
+                     "Per-slot solves routed through the resilience chain"),
+        &reg.counter("sora_resilience_fallbacks_total",
+                     "Slots produced by a non-primary backend"),
+        &reg.counter("sora_resilience_degraded_slots_total",
+                     "Slots served by graceful degradation (hold + repair)"),
+        &reg.counter("sora_resilience_exhausted_total",
+                     "Slots where the whole fallback chain failed"),
+        &reg.counter("sora_resilience_faults_injected_total",
+                     "Faults applied by the injection hook"),
+        &reg.histogram("sora_resilience_attempts", "attempts",
+                       "Backends tried per slot solve",
+                       obs::linear_buckets(1.0, 1.0, 6)),
+        {},
+    };
+    for (std::size_t b = 0; b < kNumBackends; ++b)
+      m.backend[b] = &reg.counter(
+          std::string("sora_resilience_backend_") +
+              to_string(static_cast<SolveBackend>(b)) + "_total",
+          "Slots whose final decision came from this backend");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+void set_fault_hook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  if (hook) {
+    g_hook = std::make_shared<const FaultHook>(std::move(hook));
+    g_hook_installed.store(true, std::memory_order_release);
+  } else {
+    g_hook_installed.store(false, std::memory_order_release);
+    g_hook.reset();
+  }
+}
+
+bool fault_hook_installed() {
+  return g_hook_installed.load(std::memory_order_acquire);
+}
+
+FaultKind consult_fault_hook(std::size_t slot, std::size_t attempt) {
+  if (!fault_hook_installed()) return FaultKind::kNone;
+  std::shared_ptr<const FaultHook> hook;
+  {
+    std::lock_guard<std::mutex> lock(g_hook_mu);
+    hook = g_hook;
+  }
+  if (!hook) return FaultKind::kNone;
+  const FaultKind kind = (*hook)(slot, attempt);
+  if (kind != FaultKind::kNone && obs::metrics_enabled())
+    resilience_metrics().faults_injected->inc();
+  return kind;
+}
+
+void apply_fault(FaultKind kind, solver::SolveStatus& status,
+                 linalg::Vec& x) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kIterationLimit:
+      status = solver::SolveStatus::kIterationLimit;
+      return;
+    case FaultKind::kNumericalError:
+      status = solver::SolveStatus::kNumericalError;
+      return;
+    case FaultKind::kNanPoison:
+      // Leave the status "optimal": this simulates the silent-corruption
+      // failure mode the chain's finiteness validation must catch.
+      if (!x.empty()) x[x.size() / 2] = std::nan("");
+      return;
+  }
+}
+
+bool all_finite(const linalg::Vec& x) {
+  for (const double v : x)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LP fallback.
+
+solver::LpSolution solve_lp_with_fallback(const solver::LpModel& model,
+                                          const solver::LpSolveOptions& lp,
+                                          SolveOutcome* outcome,
+                                          std::size_t slot,
+                                          std::size_t attempt_base) {
+  // Replicate solve_lp's kAuto dispatch so the retry really is the OTHER
+  // backend.
+  const bool primary_simplex =
+      lp.method == solver::LpMethod::kSimplex ||
+      (lp.method == solver::LpMethod::kAuto &&
+       model.num_rows() + model.num_vars() <= lp.simplex_size_limit);
+
+  const auto attempt_one = [&](solver::LpMethod method,
+                               std::size_t attempt) -> solver::LpSolution {
+    solver::LpSolveOptions opts = lp;
+    opts.method = method;
+    if (attempt > attempt_base) {
+      // Retry with a boosted budget: the first failure may simply have run
+      // out of iterations on a hard basis / stalled PDHG tail.
+      opts.simplex.max_iterations *= 2;
+      opts.pdhg.max_iterations *= 2;
+      opts.pdhg.accept_factor = std::max(opts.pdhg.accept_factor, 10.0);
+    }
+    solver::LpSolution sol = solver::solve_lp(model, opts);
+    if (slot != kNoFaultSlot)
+      apply_fault(consult_fault_hook(slot, attempt), sol.status, sol.x);
+    if (sol.ok() && !all_finite(sol.x)) {
+      sol.status = solver::SolveStatus::kNumericalError;
+      sol.detail += " [non-finite solution]";
+    }
+    return sol;
+  };
+
+  const solver::LpMethod first =
+      primary_simplex ? solver::LpMethod::kSimplex : solver::LpMethod::kPdhg;
+  const solver::LpMethod second =
+      primary_simplex ? solver::LpMethod::kPdhg : solver::LpMethod::kSimplex;
+
+  std::size_t attempt = attempt_base;
+  solver::LpSolution sol = attempt_one(first, attempt++);
+  std::string trail;
+  if (!sol.ok()) {
+    trail = std::string(primary_simplex ? "simplex" : "pdhg") + ": " +
+            (sol.detail.empty() ? to_string(sol.status) : sol.detail);
+    SORA_LOG_WARN << "lp fallback: primary "
+                  << (primary_simplex ? "simplex" : "pdhg") << " failed ("
+                  << to_string(sol.status) << "), retrying with "
+                  << (primary_simplex ? "pdhg" : "simplex");
+    sol = attempt_one(second, attempt++);
+    if (!sol.ok())
+      trail += std::string("; ") + (primary_simplex ? "pdhg" : "simplex") +
+               ": " + (sol.detail.empty() ? to_string(sol.status) : sol.detail);
+  }
+
+  if (outcome != nullptr) {
+    outcome->status = sol.status;
+    outcome->attempts = attempt - attempt_base;
+    outcome->backend = (attempt - attempt_base) == 1
+                           ? (primary_simplex ? SolveBackend::kSimplex
+                                              : SolveBackend::kPdhg)
+                           : (primary_simplex ? SolveBackend::kPdhg
+                                              : SolveBackend::kSimplex);
+    outcome->detail = trail;
+  }
+  return sol;
+}
+
+void observe_outcome(const SolveOutcome& outcome) {
+  if (!obs::metrics_enabled()) return;
+  const ResilienceMetrics& metrics = resilience_metrics();
+  metrics.solves->inc();
+  metrics.attempts->observe(static_cast<double>(outcome.attempts));
+  if (outcome.fell_back()) metrics.fallbacks->inc();
+  if (outcome.degraded) metrics.degraded->inc();
+  if (!outcome.ok()) metrics.exhausted->inc();
+  const std::size_t b = static_cast<std::size_t>(outcome.backend);
+  if (b < kNumBackends) metrics.backend[b]->inc();
+}
+
+}  // namespace sora::core

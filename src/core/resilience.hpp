@@ -1,0 +1,142 @@
+// Solver-resilience layer: per-slot solve failures are first-class,
+// recoverable events instead of silent corruption or process aborts.
+//
+// Every per-slot solve (two-tier P2(t), the n-tier slot subproblem, and the
+// LP repairs) returns through a SolveOutcome that carries the final
+// SolveStatus, the backend that produced the decision, and how many backends
+// were tried. A failed primary solve walks a configurable fallback chain:
+//
+//   warm IPM -> cold IPM -> cold IPM with tightened barrier parameters
+//            -> simplex on the linear surrogate -> PDHG on the surrogate
+//            -> graceful degradation: hold x_{t-1} and repair coverage
+//               sum s >= lambda with the cheapest feasible push (the
+//               feasibility-transfer construction of (3d)/(3e))
+//
+// A degraded slot still satisfies the P1 feasibility invariants (coverage
+// (1a), capacities (1b)-(1d)); only optimality and the KKT multipliers are
+// given up. The chain also validates every "optimal" answer for NaN/Inf
+// poisoning, which previously flowed silently into the trajectory and every
+// subsequent warm start.
+//
+// Fault injection: src/testing/fault_injection installs a process-wide hook
+// consulted before each attempt so the whole chain is exercised
+// deterministically (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "linalg/vector_ops.hpp"
+#include "solver/lp.hpp"
+#include "solver/lp_solve.hpp"
+#include "solver/solution.hpp"
+
+namespace sora::core {
+
+/// Which stage of the fallback chain produced a slot's decision.
+enum class SolveBackend {
+  kWarmIpm,       // sparse barrier, warm-started from the previous optimum
+  kColdIpm,       // sparse barrier, cold start (also the primary when warm
+                  // starting is off or unavailable)
+  kTightenedIpm,  // cold barrier with conservative parameters (smaller mu,
+                  // larger step budgets)
+  kSimplex,       // simplex on the slot's linear surrogate
+  kPdhg,          // PDHG on the slot's linear surrogate
+  kHoldRepair,    // graceful degradation: hold x_{t-1} + cheapest repair
+};
+
+const char* to_string(SolveBackend backend);
+inline constexpr std::size_t kNumBackends = 6;
+
+/// How one slot's solve ended: status, producing backend, chain depth.
+struct SolveOutcome {
+  solver::SolveStatus status = solver::SolveStatus::kNumericalError;
+  SolveBackend backend = SolveBackend::kWarmIpm;
+  std::size_t attempts = 0;        // backends tried, >= 1 once solved
+  bool degraded = false;           // decision came from hold + repair
+  double repair_cost_delta = 0.0;  // allocation+reconfig cost of the push
+  std::string detail;              // failure trail, empty on clean solves
+
+  bool ok() const { return status == solver::SolveStatus::kOptimal; }
+  /// The slot was produced by something other than the primary barrier.
+  bool fell_back() const { return attempts > 1 || degraded; }
+};
+
+/// Chain configuration, carried inside RoaOptions / NTierRoaOptions.
+struct ResilienceOptions {
+  bool enabled = true;            // false restores the fail-fast behaviour
+  bool allow_cold_restart = true;
+  bool allow_tightened = true;
+  bool allow_lp_fallback = true;  // simplex then PDHG on the surrogate
+  bool allow_degradation = true;  // hold x_{t-1} + cheapest feasible push
+  /// When the whole chain is exhausted: throw CheckError (true) or return
+  /// the failed outcome to the caller (false).
+  bool throw_on_exhaustion = true;
+};
+
+/// Per-slot health record aggregated into RoaRun (and the n-tier runs).
+struct SlotHealth {
+  std::size_t slot = 0;
+  solver::SolveStatus status = solver::SolveStatus::kNumericalError;
+  SolveBackend backend = SolveBackend::kWarmIpm;
+  std::size_t attempts = 0;
+  bool degraded = false;
+  double repair_cost_delta = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection (hook installed by sora::testing::FaultInjector).
+
+enum class FaultKind {
+  kNone,
+  kIterationLimit,   // force SolveStatus::kIterationLimit
+  kNumericalError,   // force SolveStatus::kNumericalError
+  kNanPoison,        // leave status "optimal" but poison the solution with
+                     // NaN — the silent-corruption failure mode
+};
+
+const char* to_string(FaultKind kind);
+
+/// Hook signature: which fault (if any) to apply at (slot, attempt). Attempt
+/// counts backends tried so far, so a schedule can force the first k stages
+/// of the chain to fail and let stage k+1 succeed.
+using FaultHook = std::function<FaultKind(std::size_t slot,
+                                          std::size_t attempt)>;
+
+/// Install (or, with an empty function, clear) the process-wide hook.
+/// Thread-safe; consultation is a single relaxed atomic load when no hook is
+/// installed.
+void set_fault_hook(FaultHook hook);
+bool fault_hook_installed();
+
+/// The fault to apply at (slot, attempt); kNone when no hook is installed.
+/// Bumps sora_resilience_faults_injected_total when a fault fires.
+FaultKind consult_fault_hook(std::size_t slot, std::size_t attempt);
+
+/// Apply `kind` to a solver result in place (status override / NaN poison).
+void apply_fault(FaultKind kind, solver::SolveStatus& status, linalg::Vec& x);
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+/// True when every entry of x is finite. Non-finite "optimal" solutions are
+/// demoted to kNumericalError by the chain.
+bool all_finite(const linalg::Vec& x);
+
+/// Solve `model` with the configured LP method, then retry the other backend
+/// (simplex <-> PDHG, with a boosted iteration budget) on failure. Never
+/// throws: the returned solution's status tells the story. When `outcome` is
+/// non-null it receives backend/attempt accounting. `slot`/`attempt_base`
+/// feed the fault-injection hook (pass kNoFaultSlot to bypass it).
+inline constexpr std::size_t kNoFaultSlot = static_cast<std::size_t>(-1);
+solver::LpSolution solve_lp_with_fallback(const solver::LpModel& model,
+                                          const solver::LpSolveOptions& lp,
+                                          SolveOutcome* outcome = nullptr,
+                                          std::size_t slot = kNoFaultSlot,
+                                          std::size_t attempt_base = 0);
+
+/// Record a finished slot outcome in the sora_resilience_* metrics.
+void observe_outcome(const SolveOutcome& outcome);
+
+}  // namespace sora::core

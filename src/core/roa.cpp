@@ -66,6 +66,7 @@ RoaRun run_roa_with_inputs(const Instance& inst, const InputSeries& inputs,
     const bool obs_on = obs::metrics_enabled();
     run.trajectory.slots.reserve(inst.horizon);
     run.slot_timings.reserve(inst.horizon);
+    run.slot_health.reserve(inst.horizon);
     P2Workspace workspace(inst, options);
     Allocation prev = Allocation::zeros(inst.num_edges());
     for (std::size_t t = 0; t < inst.horizon; ++t) {
@@ -75,6 +76,14 @@ RoaRun run_roa_with_inputs(const Instance& inst, const InputSeries& inputs,
       run.build_seconds += p2.timing.build_seconds;
       run.barrier_seconds += p2.timing.solve_seconds;
       run.slot_timings.push_back(p2.timing);
+      run.slot_health.push_back(SlotHealth{t, p2.outcome.status,
+                                           p2.outcome.backend,
+                                           p2.outcome.attempts,
+                                           p2.outcome.degraded,
+                                           p2.outcome.repair_cost_delta});
+      if (p2.outcome.fell_back()) ++run.fallback_slots;
+      if (p2.outcome.degraded) ++run.degraded_slots;
+      run.repair_cost_delta += p2.outcome.repair_cost_delta;
       if (obs_on) {
         const RoaMetrics& metrics = roa_metrics();
         metrics.slots->inc();

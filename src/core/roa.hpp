@@ -24,6 +24,17 @@ struct RoaRun {
   std::vector<P2Timing> slot_timings;
   double build_seconds = 0.0;
   double barrier_seconds = 0.0;
+
+  // Per-slot solver health from the resilience chain (status, producing
+  // backend, chain depth), plus horizon-level aggregates. A healthy run has
+  // every slot kOptimal on the primary barrier and zero counters here.
+  std::vector<SlotHealth> slot_health;
+  std::size_t fallback_slots = 0;  // produced by a non-primary backend
+  std::size_t degraded_slots = 0;  // hold + repair (coverage kept, optimality
+                                   // given up)
+  double repair_cost_delta = 0.0;  // summed cost of the degradation repairs
+
+  bool healthy() const { return fallback_slots == 0 && degraded_slots == 0; }
 };
 
 /// Run ROA over the whole horizon with true inputs.

@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -38,7 +39,11 @@ SeedStats sweep_seeds(
   SORA_TRACE_SPAN("montecarlo/sweep_seeds");
   static obs::Counter* seeds_evaluated = &obs::Registry::global().counter(
       "sora_montecarlo_seeds_total", "Seed evaluations across all sweeps");
+  static obs::Counter* seeds_failed = &obs::Registry::global().counter(
+      "sora_montecarlo_seed_failures_total",
+      "Seed evaluations whose metric threw (excluded from the statistics)");
   std::vector<double> values(num_seeds, 0.0);
+  std::vector<char> failed(num_seeds, 0);
   // Child-stream derivation: sweep point k's seed depends only on
   // (base.seed, k), so parallel execution order cannot change results and
   // distinct base seeds never collide (the old base + 1000*(k+1) arithmetic
@@ -48,11 +53,29 @@ SeedStats sweep_seeds(
     SORA_TRACE_SPAN("montecarlo/seed");
     Scenario sc = base;
     sc.seed = master.child(k).seed();
-    const core::Instance inst = build_eval_instance(sc, scale);
-    values[k] = metric(inst);
+    // One bad seed (a solver chain exhausted, an infeasible draw) must not
+    // kill the whole sweep: record the failure and keep going.
+    try {
+      const core::Instance inst = build_eval_instance(sc, scale);
+      values[k] = metric(inst);
+    } catch (const util::CheckError& e) {
+      failed[k] = 1;
+      SORA_LOG_ERROR << "montecarlo: seed " << sc.seed << " (sweep point "
+                     << k << ") failed: " << e.what();
+      if (obs::metrics_enabled()) seeds_failed->inc();
+    }
     if (obs::metrics_enabled()) seeds_evaluated->inc();
   });
-  return summarize(values);
+  std::vector<double> ok_values;
+  ok_values.reserve(num_seeds);
+  for (std::size_t k = 0; k < num_seeds; ++k)
+    if (!failed[k]) ok_values.push_back(values[k]);
+  SORA_CHECK_MSG(!ok_values.empty(),
+                 "sweep_seeds: all " + std::to_string(num_seeds) +
+                     " seeds failed");
+  SeedStats stats = summarize(ok_values);
+  stats.failures = num_seeds - ok_values.size();
+  return stats;
 }
 
 }  // namespace sora::eval

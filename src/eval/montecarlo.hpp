@@ -19,13 +19,20 @@ struct SeedStats {
   double max = 0.0;
   double stddev = 0.0;
   std::size_t samples = 0;
+  // Seeds whose metric threw (solver chain exhausted, infeasible draw, ...).
+  // The sweep excludes them from the statistics instead of dying; it throws
+  // only when EVERY seed fails.
+  std::size_t failures = 0;
 };
 
 SeedStats summarize(const std::vector<double>& values);
 
 /// Run `metric` for `num_seeds` seeds derived from base_seed; each call gets
 /// a Scenario whose seed differs (fresh trace + fresh prices). Runs in
-/// parallel on the shared pool.
+/// parallel on the shared pool. A metric that throws for one seed is
+/// recorded in SeedStats::failures and excluded from the statistics — a
+/// single bad slot/seed never kills the sweep. Throws only when every seed
+/// fails.
 SeedStats sweep_seeds(const Scenario& base, const EvalScale& scale,
                       std::size_t num_seeds,
                       const std::function<double(const core::Instance&)>& metric);

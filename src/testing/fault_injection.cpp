@@ -1,0 +1,57 @@
+#include "testing/fault_injection.hpp"
+
+#include "util/rng.hpp"
+
+namespace sora::testing {
+namespace {
+core::FaultKind rotate_kind(std::size_t index) {
+  switch (index % 3) {
+    case 0:
+      return core::FaultKind::kIterationLimit;
+    case 1:
+      return core::FaultKind::kNumericalError;
+    default:
+      return core::FaultKind::kNanPoison;
+  }
+}
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  schedule_.assign(plan_.max_slots, core::FaultKind::kNone);
+  util::Rng rng(plan_.seed);
+  std::size_t scheduled = 0;
+  for (std::size_t t = 0; t < plan_.max_slots; ++t) {
+    if (rng.uniform() >= plan_.fault_rate) continue;
+    schedule_[t] = plan_.mix_kinds ? rotate_kind(scheduled) : plan_.kind;
+    ++scheduled;
+  }
+  // The hook only captures `this`; the RAII contract (injector outlives any
+  // run it is driving) makes that safe.
+  core::set_fault_hook([this](std::size_t slot, std::size_t attempt) {
+    const core::FaultKind k = kind(slot);
+    if (k == core::FaultKind::kNone || attempt >= plan_.forced_attempts)
+      return core::FaultKind::kNone;
+    injections_.fetch_add(1, std::memory_order_relaxed);
+    return k;
+  });
+}
+
+FaultInjector::~FaultInjector() { core::set_fault_hook({}); }
+
+bool FaultInjector::faulted(std::size_t slot) const {
+  return kind(slot) != core::FaultKind::kNone;
+}
+
+core::FaultKind FaultInjector::kind(std::size_t slot) const {
+  if (slot >= schedule_.size()) return core::FaultKind::kNone;
+  return schedule_[slot];
+}
+
+std::vector<std::size_t> FaultInjector::faulted_slots() const {
+  std::vector<std::size_t> slots;
+  for (std::size_t t = 0; t < schedule_.size(); ++t)
+    if (schedule_[t] != core::FaultKind::kNone) slots.push_back(t);
+  return slots;
+}
+
+}  // namespace sora::testing

@@ -1,0 +1,63 @@
+// Deterministic solver-fault injection for the resilience test suites.
+//
+// A FaultInjector draws a per-slot fault schedule from (seed, fault_rate)
+// and installs the process-wide core fault hook (core/resilience.hpp) for
+// its lifetime. Each scheduled slot fails its first `forced_attempts`
+// chain stages with the scheduled FaultKind, then solves normally — so
+// forced_attempts selects how deep into the fallback chain the slot is
+// pushed (1 = cold restart recovers, 5+ = graceful degradation).
+//
+// The schedule is a pure function of the plan, so tests can compare a run's
+// SlotHealth accounting against `faulted(slot)` exactly. RAII: destruction
+// clears the hook even when a test throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/resilience.hpp"
+
+namespace sora::testing {
+
+struct FaultPlan {
+  double fault_rate = 0.1;       // fraction of slots that get faults
+  std::uint64_t seed = 1;        // schedule seed (independent of instance)
+  std::size_t forced_attempts = 1;  // chain stages forced to fail per slot
+  core::FaultKind kind = core::FaultKind::kIterationLimit;
+  bool mix_kinds = true;         // rotate iteration-limit / numerical / NaN
+  std::size_t max_slots = 4096;  // schedule length (slots beyond are clean)
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Whether slot t is scheduled to fault (false beyond max_slots).
+  bool faulted(std::size_t slot) const;
+
+  /// The kind scheduled for slot t (kNone when the slot is clean).
+  core::FaultKind kind(std::size_t slot) const;
+
+  /// Scheduled slots in increasing order.
+  std::vector<std::size_t> faulted_slots() const;
+
+  /// Faults actually delivered through the hook so far (one per forced
+  /// attempt, so a slot with forced_attempts=3 counts 3 when fully driven).
+  std::size_t injections() const {
+    return injections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::vector<core::FaultKind> schedule_;  // [slot] -> kind, kNone = clean
+  std::atomic<std::size_t> injections_{0};
+};
+
+}  // namespace sora::testing

@@ -24,8 +24,13 @@
 //   --metrics-out    write the metrics registry to this file
 //   --metrics-format text|json (default: json, or text for .txt/.prom)
 //   --trace-out      write a Chrome trace-event JSON to this file
+//   --inject-faults RATE  force solver faults on ~RATE of slots (0 = off);
+//                         exercises the resilience chain (docs/ROBUSTNESS.md)
+//   --inject-seed S       fault-schedule seed                     [--seed]
+//   --inject-attempts N   chain stages forced to fail per faulted slot [1]
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "baselines/lcp_m.hpp"
@@ -38,6 +43,7 @@
 #include "core/roa.hpp"
 #include "eval/replay.hpp"
 #include "obs/obs.hpp"
+#include "testing/fault_injection.hpp"
 #include "util/csv.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -52,6 +58,12 @@ struct NamedRun {
   core::Trajectory trajectory;
   core::CostBreakdown cost;
   double seconds = 0.0;
+  // Resilience accounting where the policy exposes it (ROA slot health,
+  // predictive repair counters); zero on healthy solvers.
+  std::size_t fallback_slots = 0;
+  std::size_t degraded_slots = 0;
+  std::size_t failed_repairs = 0;
+  double repair_cost_delta = 0.0;
 };
 
 core::Instance build(const util::Options& opts) {
@@ -95,8 +107,16 @@ NamedRun run_algorithm(const std::string& name, const core::Instance& inst,
                         static_cast<std::uint64_t>(opts.get_int("seed", 42))};
   control.roa = roa;
 
+  const auto take_control = [&out](const core::ControlRun& run) {
+    out.trajectory = run.trajectory;
+    out.failed_repairs = run.failed_repairs;
+  };
   if (name == "roa") {
-    out.trajectory = core::run_roa(inst, roa).trajectory;
+    const core::RoaRun run = core::run_roa(inst, roa);
+    out.trajectory = run.trajectory;
+    out.fallback_slots = run.fallback_slots;
+    out.degraded_slots = run.degraded_slots;
+    out.repair_cost_delta = run.repair_cost_delta;
   } else if (name == "greedy") {
     out.trajectory = baselines::run_one_shot_sequence(inst).trajectory;
   } else if (name == "offline") {
@@ -104,15 +124,15 @@ NamedRun run_algorithm(const std::string& name, const core::Instance& inst,
   } else if (name == "lcpm") {
     out.trajectory = baselines::run_lcp_m(inst).trajectory;
   } else if (name == "fhc") {
-    out.trajectory = core::run_fhc(inst, control).trajectory;
+    take_control(core::run_fhc(inst, control));
   } else if (name == "rhc") {
-    out.trajectory = core::run_rhc(inst, control).trajectory;
+    take_control(core::run_rhc(inst, control));
   } else if (name == "rfhc") {
-    out.trajectory = core::run_rfhc(inst, control).trajectory;
+    take_control(core::run_rfhc(inst, control));
   } else if (name == "rrhc") {
-    out.trajectory = core::run_rrhc(inst, control).trajectory;
+    take_control(core::run_rrhc(inst, control));
   } else if (name == "afhc") {
-    out.trajectory = core::run_afhc(inst, control).trajectory;
+    take_control(core::run_afhc(inst, control));
   } else {
     std::cerr << "unknown algorithm: " << name << "\n";
     std::exit(2);
@@ -140,7 +160,10 @@ int main(int argc, char** argv) {
           "  --metrics-out FILE    solver/ROA metrics (json, or text for\n"
           "                        .txt/.prom; --metrics-format overrides)\n"
           "  --metrics-format text|json\n"
-          "  --trace-out FILE      Chrome trace-event JSON (Perfetto)\n";
+          "  --trace-out FILE      Chrome trace-event JSON (Perfetto)\n"
+          "  --inject-faults RATE  force solver faults on ~RATE of slots\n"
+          "  --inject-seed S       fault-schedule seed (default --seed)\n"
+          "  --inject-attempts N   chain stages failed per faulted slot\n";
       return 0;
     }
   }
@@ -148,7 +171,8 @@ int main(int argc, char** argv) {
       argc, argv,
       {"algorithm", "workload", "trace", "hours", "tier2", "tier1", "k", "b",
        "eps", "window", "error", "model-tier1", "seed", "simulate", "certify",
-       "out", "metrics-out", "metrics-format", "trace-out"});
+       "out", "metrics-out", "metrics-format", "trace-out", "inject-faults",
+       "inject-seed", "inject-attempts"});
 
   const std::string metrics_out = opts.get_string("metrics-out", "");
   const std::string trace_out = opts.get_string("trace-out", "");
@@ -165,6 +189,28 @@ int main(int argc, char** argv) {
             << inst.num_tier1() << " tier-1, " << inst.num_edges()
             << " edges, " << inst.horizon << " slots"
             << (inst.has_tier1() ? ", with F_1 term" : "") << "\n";
+
+  // Optional fault injection: a seeded schedule forces per-slot solver
+  // failures so the fallback chain (and its accounting) can be exercised
+  // from the command line. RAII: the hook clears at scope exit.
+  std::unique_ptr<testing::FaultInjector> injector;
+  const double inject_rate = opts.get_double("inject-faults", 0.0);
+  if (inject_rate > 0.0) {
+    testing::FaultPlan plan;
+    plan.fault_rate = inject_rate;
+    plan.seed = static_cast<std::uint64_t>(
+        opts.get_int("inject-seed", opts.get_int("seed", 42)));
+    plan.forced_attempts =
+        static_cast<std::size_t>(opts.get_int("inject-attempts", 1));
+    injector = std::make_unique<testing::FaultInjector>(plan);
+    std::size_t scheduled = 0;
+    for (std::size_t t = 0; t < inst.horizon; ++t)
+      if (injector->faulted(t)) ++scheduled;
+    std::cout << "fault injection: rate " << inject_rate << ", seed "
+              << plan.seed << ", " << plan.forced_attempts
+              << " forced attempt(s) on " << scheduled << "/" << inst.horizon
+              << " slots\n";
+  }
 
   const std::string algorithm = opts.get_string("algorithm", "roa");
   std::vector<std::string> names;
@@ -183,6 +229,25 @@ int main(int argc, char** argv) {
     std::printf("%-9s %14.2f %14.2f %14.2f %9.2f\n", run.name.c_str(),
                 run.cost.total(), run.cost.allocation,
                 run.cost.reconfiguration, run.seconds);
+
+  // Solver-health table: shown whenever faults were injected or any run
+  // actually fell back, so clean runs stay uncluttered.
+  bool any_unhealthy = false;
+  for (const auto& run : runs)
+    any_unhealthy |= run.fallback_slots > 0 || run.degraded_slots > 0 ||
+                     run.failed_repairs > 0;
+  if (injector || any_unhealthy) {
+    std::printf("\nsolver health:\n");
+    std::printf("%-9s %10s %10s %14s %14s\n", "policy", "fallbacks",
+                "degraded", "failed-repair", "repair-cost");
+    for (const auto& run : runs)
+      std::printf("%-9s %10zu %10zu %14zu %14.2f\n", run.name.c_str(),
+                  run.fallback_slots, run.degraded_slots, run.failed_repairs,
+                  run.repair_cost_delta);
+    if (injector)
+      std::printf("  faults delivered through the hook: %zu\n",
+                  injector->injections());
+  }
 
   if (algorithm == "all") {
     const double opt = runs.back().cost.total();  // offline is last

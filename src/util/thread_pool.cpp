@@ -141,6 +141,10 @@ void parallel_for(std::size_t begin, std::size_t end,
     std::exception_ptr first_error;
     std::condition_variable done_cv;
     std::size_t pending = 0;
+    // Set when a chunk throws: queued chunks that have not started yet
+    // drain immediately instead of running the full batch before the
+    // rethrow. Chunks already executing finish their current body.
+    std::atomic<bool> cancelled{false};
   };
   auto shared = std::make_shared<Shared>();
 
@@ -154,11 +158,18 @@ void parallel_for(std::size_t begin, std::size_t end,
   for (std::size_t lo = begin; lo < end; lo += grain) {
     const std::size_t hi = std::min(end, lo + grain);
     pool.submit([shared, lo, hi, &body] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(shared->mu);
-        if (!shared->first_error) shared->first_error = std::current_exception();
+      if (!shared->cancelled.load(std::memory_order_acquire)) {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (shared->cancelled.load(std::memory_order_relaxed)) break;
+            body(i);
+          }
+        } catch (...) {
+          shared->cancelled.store(true, std::memory_order_release);
+          std::lock_guard<std::mutex> lock(shared->mu);
+          if (!shared->first_error)
+            shared->first_error = std::current_exception();
+        }
       }
       std::lock_guard<std::mutex> lock(shared->mu);
       if (--shared->pending == 0) shared->done_cv.notify_all();

@@ -111,6 +111,36 @@ TEST(Roa, TrajectoryFeasibleAndCostPositive) {
   EXPECT_GT(run.cost.allocation, 0.0);
 }
 
+TEST(Roa, SeedFixturesSolveEverySlotOptimal) {
+  // Regression fixtures: on well-conditioned seed instances the resilience
+  // chain must never engage — every slot solves kOptimal on the primary
+  // barrier in one attempt, and the run-level health counters stay zero.
+  for (const std::uint64_t seed : {1, 4, 12, 77}) {
+    const Instance inst = make_instance(8, 50.0, seed);
+    const RoaRun run = run_roa(inst);
+    ASSERT_EQ(run.slot_health.size(), inst.horizon) << "seed " << seed;
+    for (std::size_t t = 0; t < inst.horizon; ++t) {
+      const SlotHealth& h = run.slot_health[t];
+      EXPECT_EQ(h.status, solver::SolveStatus::kOptimal)
+          << "seed " << seed << " t=" << t << ": "
+          << solver::to_string(h.status);
+      EXPECT_EQ(h.attempts, 1u) << "seed " << seed << " t=" << t;
+      EXPECT_FALSE(h.degraded) << "seed " << seed << " t=" << t;
+      // The primary is the warm-started barrier, or a cold start when the
+      // warm blend could not reach strict feasibility (t = 0 always cold).
+      EXPECT_TRUE(h.backend == SolveBackend::kWarmIpm ||
+                  h.backend == SolveBackend::kColdIpm)
+          << "seed " << seed << " t=" << t << ": " << to_string(h.backend);
+      if (t == 0)
+        EXPECT_EQ(h.backend, SolveBackend::kColdIpm) << "seed " << seed;
+    }
+    EXPECT_TRUE(run.healthy()) << "seed " << seed;
+    EXPECT_EQ(run.fallback_slots, 0u);
+    EXPECT_EQ(run.degraded_slots, 0u);
+    EXPECT_DOUBLE_EQ(run.repair_cost_delta, 0.0);
+  }
+}
+
 TEST(Roa, WarmStartMatchesColdStartTrajectory) {
   const Instance inst = make_instance(10, 200.0, 12);
   RoaOptions cold;

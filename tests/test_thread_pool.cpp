@@ -97,6 +97,35 @@ TEST(ThreadPool, ParallelForPropagatesException) {
   EXPECT_EQ(after.load(), 8);
 }
 
+TEST(ThreadPool, ParallelForCancelsQueuedChunksAfterError) {
+  // A poisoned batch must return promptly: once the first chunk throws,
+  // queued chunks drain without running their bodies instead of executing
+  // the full batch before the rethrow. Chunk 0 is dequeued first (FIFO), so
+  // the error is captured while the bulk of the batch is still queued; only
+  // the handful of chunks already in flight may still run.
+  constexpr std::size_t kTotal = 2048;
+  std::atomic<std::size_t> executed{0};
+  try {
+    parallel_for(
+        0, kTotal,
+        [&executed](std::size_t i) {
+          if (i == 0) throw std::runtime_error("poisoned batch");
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          executed.fetch_add(1);
+        },
+        /*grain=*/1);
+    FAIL() << "expected the poisoned chunk to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "poisoned batch");
+  }
+  EXPECT_LT(executed.load(), kTotal / 2)
+      << "cancellation should skip most queued chunks";
+  // The pool is healthy afterwards.
+  std::atomic<std::size_t> after{0};
+  parallel_for(0, 16, [&after](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 16u);
+}
+
 TEST(ThreadPool, ManyWaitersUnderLoad) {
   // Hammer submit/wait_idle from several client threads at once: no lost
   // wakeups, no task left behind.
