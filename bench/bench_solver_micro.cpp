@@ -10,6 +10,7 @@
 #include "eval/scenarios.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/sparse.hpp"
+#include "linalg/sparse_cholesky.hpp"
 #include "solver/pdhg.hpp"
 #include "solver/simplex.hpp"
 #include "util/rng.hpp"
@@ -207,6 +208,107 @@ void BM_Cholesky(benchmark::State& state) {
 }
 BENCHMARK(BM_Cholesky)->Arg(64)->Arg(128)->Arg(256);
 
+// ---- Factorization kernels head-to-head: dense blocked Cholesky vs the
+// symbolic-once sparse Cholesky, and the matching add_AtDA assembly
+// kernels, on a banded SPD system (bandwidth 8, ~17 nnz/row) shaped like
+// the P2 normal matrices. The sparse benchmark times the numeric
+// refactor + solve only — the symbolic analysis is hoisted out of the loop,
+// matching the per-Newton-step cost the IPM pays after the first solve.
+
+linalg::SymSparse banded_spd(std::size_t n, std::size_t bandwidth,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t r = 0; r < n; ++r) {
+    trips.push_back({r, r, 4.0 * static_cast<double>(bandwidth)});
+    for (std::size_t c = (r > bandwidth ? r - bandwidth : 0); c < r; ++c)
+      trips.push_back({r, c, rng.normal()});
+  }
+  return linalg::SymSparse::from_lower_triplets(n, std::move(trips));
+}
+
+void BM_CholeskyDense(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = banded_spd(n, 8, 11).to_dense();
+  linalg::Matrix l(n, n, 0.0);
+  linalg::Vec b(n, 1.0);
+  for (auto _ : state) {
+    linalg::cholesky_factor_regularized_into(a, l, 1e-12, 1e16);
+    linalg::Vec x = b;
+    linalg::cholesky_solve_in_place(l, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_CholeskyDense)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_CholeskySparse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = banded_spd(n, 8, 11);
+  linalg::SparseCholesky chol;
+  chol.analyze(a);  // symbolic once, outside the timed loop
+  linalg::Vec b(n, 1.0);
+  for (auto _ : state) {
+    chol.factor_regularized(a, 1e-12, 1e16);
+    linalg::Vec x = b;
+    chol.solve_in_place(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_CholeskySparse)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// G with ~8 nonzeros per constraint row, m = 2n rows — the shape of the P2
+// constraint blocks. Both kernels accumulate G^T diag(w) G into a dense
+// (symmetric-seeded) Hessian buffer.
+
+linalg::Matrix random_constraints(std::size_t m, std::size_t n,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix g(m, n, 0.0);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t k = 0; k < 8; ++k)
+      g(r, rng.uniform_index(n)) = rng.normal();
+  return g;
+}
+
+void BM_AtDA_dense(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_constraints(2 * n, n, 13);
+  linalg::Vec w(2 * n, 1.5);
+  linalg::Matrix out(n, n, 0.0);
+  for (auto _ : state) {
+    linalg::add_AtDA(g, w, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AtDA_dense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AtDA_sparse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto g =
+      linalg::SparseMatrix::from_dense(random_constraints(2 * n, n, 13));
+  linalg::Vec w(2 * n, 1.5);
+  linalg::Matrix out(n, n, 0.0);
+  for (auto _ : state) {
+    g.add_AtDA(w, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AtDA_sparse)->Arg(64)->Arg(128)->Arg(256);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// The JSON context's `library_build_type` describes the google-benchmark
+// library, not this code; record our own build type so run_benchmarks.sh can
+// refuse numbers from a non-optimized build of the solver itself.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("sora_build_type", "release");
+#else
+  benchmark::AddCustomContext("sora_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -38,3 +38,22 @@ cmake --build "$BUILD_DIR" --target bench_solver_micro -j "$(nproc)"
   --benchmark_out="$ROOT/BENCH_solver.json" \
   --benchmark_out_format=json \
   ${FORWARDED[@]+"${FORWARDED[@]}"}
+
+# Numbers from a non-optimized build are noise, not benchmarks. The binary
+# stamps its own build type into the JSON context (`sora_build_type` — the
+# stock `library_build_type` only describes the google-benchmark library);
+# refuse to leave a non-release file where it could be mistaken for real data.
+build_type="$(grep -o '"sora_build_type": "[^"]*"' "$ROOT/BENCH_solver.json" \
+  | head -n1 | cut -d'"' -f4)"
+if [ "$build_type" != "release" ]; then
+  mv "$ROOT/BENCH_solver.json" "$ROOT/BENCH_solver.json.rejected"
+  echo "ERROR: benchmark binary built as '${build_type:-unknown}', not" \
+    "'release' — output moved to BENCH_solver.json.rejected" >&2
+  exit 1
+fi
+lib_type="$(grep -o '"library_build_type": "[^"]*"' "$ROOT/BENCH_solver.json" \
+  | head -n1 | cut -d'"' -f4)"
+if [ "$lib_type" != "release" ]; then
+  echo "WARNING: google-benchmark library itself was built as" \
+    "'${lib_type:-unknown}' — measurement-loop overhead may be inflated" >&2
+fi

@@ -515,6 +515,28 @@ class NTierP2Objective : public solver::ConvexObjective {
           link_weight_[l] * entropic_hessian(z[yvar(l)], options_.eps);
   }
 
+  // The n-tier objective has curvature only on the node/link aggregate
+  // variables (flow variables are linear), so the sparse-Hessian pattern is
+  // a partial diagonal.
+  bool hessian_lower_structure(
+      std::vector<linalg::Triplet>& pattern) const override {
+    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
+      pattern.push_back({xvar(v), xvar(v), 0.0});
+    for (std::size_t l = 0; l < inst_.num_links(); ++l)
+      pattern.push_back({yvar(l), yvar(l), 0.0});
+    return true;
+  }
+
+  void hessian_lower_values_into(const Vec& z, Vec& values) const override {
+    std::size_t k = 0;
+    for (std::size_t v = 0; v < inst_.num_nodes(); ++v)
+      values[k++] =
+          node_weight_[v] * entropic_hessian(z[xvar(v)], options_.eps);
+    for (std::size_t l = 0; l < inst_.num_links(); ++l)
+      values[k++] =
+          link_weight_[l] * entropic_hessian(z[yvar(l)], options_.eps);
+  }
+
  private:
   const NTierInstance& inst_;
   Vec price_row_;

@@ -635,6 +635,57 @@ class SparseP2Objective final : public solver::ConvexObjective {
     }
   }
 
+  // Sparse-Hessian interface for the IPM's sparse normal-equations path:
+  // one dense lower block per tier-2 cloud over its x variables, the y
+  // diagonal, and (with a tier-1 term) one block per tier-1 site over its z
+  // variables. The pattern is fixed; begin_slot() only moves values.
+  bool hessian_lower_structure(
+      std::vector<linalg::Triplet>& pattern) const override {
+    for (std::size_t i = 0; i < inst_.num_tier2(); ++i) {
+      const auto& ids = inst_.edges_of_tier2[i];
+      for (std::size_t a = 0; a < ids.size(); ++a)
+        for (std::size_t b = 0; b <= a; ++b)
+          pattern.push_back({layout_.x(ids[a]), layout_.x(ids[b]), 0.0});
+    }
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      pattern.push_back({layout_.y(e), layout_.y(e), 0.0});
+    if (layout_.with_z) {
+      for (std::size_t j = 0; j < inst_.num_tier1(); ++j) {
+        const auto& ids = inst_.edges_of_tier1[j];
+        for (std::size_t a = 0; a < ids.size(); ++a)
+          for (std::size_t b = 0; b <= a; ++b)
+            pattern.push_back({layout_.z(ids[a]), layout_.z(ids[b]), 0.0});
+      }
+    }
+    return true;
+  }
+
+  void hessian_lower_values_into(const Vec& v, Vec& values) const override {
+    std::size_t k = 0;
+    x_totals_into(v);
+    for (std::size_t i = 0; i < inst_.num_tier2(); ++i) {
+      const double curvature =
+          x_weight_[i] * entropic_hessian(totals_[i], options_.eps);
+      const std::size_t block = inst_.edges_of_tier2[i].size();
+      for (std::size_t p = 0; p < block * (block + 1) / 2; ++p)
+        values[k++] = curvature;
+    }
+    for (std::size_t e = 0; e < layout_.num_edges; ++e)
+      values[k++] =
+          y_weight_[e] * entropic_hessian(v[layout_.y(e)], options_.eps_prime);
+    if (layout_.with_z) {
+      z_totals_into(v);
+      for (std::size_t j = 0; j < inst_.num_tier1(); ++j) {
+        const double curvature =
+            z_weight_[j] * entropic_hessian(t1_totals_[j], options_.eps);
+        const std::size_t block = inst_.edges_of_tier1[j].size();
+        for (std::size_t p = 0; p < block * (block + 1) / 2; ++p)
+          values[k++] = curvature;
+      }
+    }
+    SORA_DCHECK(k == values.size());
+  }
+
  private:
   void x_totals_into(const Vec& v) const {
     std::fill(totals_.begin(), totals_.end(), 0.0);

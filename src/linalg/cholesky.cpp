@@ -1,5 +1,6 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -7,22 +8,51 @@
 namespace sora::linalg {
 namespace {
 
-// In-place lower Cholesky; returns false on a non-positive pivot.
+// In-place lower Cholesky, blocked right-looking with kBlock-wide panels so
+// the trailing update runs as contiguous row dot products (rank-k syrk over
+// the lower triangle only). Touches only the lower triangle; returns false
+// on a non-positive pivot.
 bool cholesky_in_place(Matrix& a) {
   const std::size_t n = a.rows();
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
-    const double ljj = std::sqrt(diag);
-    a(j, j) = ljj;
-    const double inv = 1.0 / ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double v = a(i, j);
-      const double* arow = a.row_ptr(i);
-      const double* jrow = a.row_ptr(j);
-      for (std::size_t k = 0; k < j; ++k) v -= arow[k] * jrow[k];
-      a(i, j) = v * inv;
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+    const std::size_t jend = std::min(j0 + kBlock, n);
+    // Diagonal block: unblocked factor of A[j0:jend, j0:jend]. Columns to
+    // the left of j0 were already eliminated by earlier trailing updates.
+    for (std::size_t j = j0; j < jend; ++j) {
+      double* jrow = a.row_ptr(j);
+      double diag = jrow[j];
+      for (std::size_t k = j0; k < j; ++k) diag -= jrow[k] * jrow[k];
+      if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+      const double ljj = std::sqrt(diag);
+      jrow[j] = ljj;
+      const double inv = 1.0 / ljj;
+      for (std::size_t i = j + 1; i < jend; ++i) {
+        double* irow = a.row_ptr(i);
+        double v = irow[j];
+        for (std::size_t k = j0; k < j; ++k) v -= irow[k] * jrow[k];
+        irow[j] = v * inv;
+      }
+    }
+    // Panel: rows below the block solve L21 L11^T = A21.
+    for (std::size_t i = jend; i < n; ++i) {
+      double* irow = a.row_ptr(i);
+      for (std::size_t j = j0; j < jend; ++j) {
+        const double* jrow = a.row_ptr(j);
+        double v = irow[j];
+        for (std::size_t k = j0; k < j; ++k) v -= irow[k] * jrow[k];
+        irow[j] = v / jrow[j];
+      }
+    }
+    // Trailing update: A22 -= L21 L21^T, lower triangle only.
+    for (std::size_t i = jend; i < n; ++i) {
+      double* irow = a.row_ptr(i);
+      for (std::size_t c = jend; c <= i; ++c) {
+        const double* crow = a.row_ptr(c);
+        double s = 0.0;
+        for (std::size_t k = j0; k < jend; ++k) s += irow[k] * crow[k];
+        irow[c] -= s;
+      }
     }
   }
   // Zero the strict upper triangle so the factor is clean.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace sora::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -70,6 +72,34 @@ double Matrix::norm_frobenius() const {
   double acc = 0.0;
   for (double v : data_) acc += v * v;
   return std::sqrt(acc);
+}
+
+void mirror_lower(Matrix& a) {
+  SORA_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t r = 1; r < n; ++r) {
+    const double* arow = a.row_ptr(r);
+    for (std::size_t c = 0; c < r; ++c) a(c, r) = arow[c];
+  }
+}
+
+void add_AtDA(const Matrix& g, const Vec& w, Matrix& out) {
+  const std::size_t n = g.cols();
+  SORA_CHECK(w.size() == g.rows());
+  SORA_CHECK(out.rows() == n && out.cols() == n);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    const double wi = w[i];
+    if (wi == 0.0) continue;
+    const double* grow = g.row_ptr(i);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double gr = grow[r];
+      if (gr == 0.0) continue;
+      double* hrow = out.row_ptr(r);
+      const double wgr = wi * gr;
+      for (std::size_t c = 0; c <= r; ++c) hrow[c] += wgr * grow[c];
+    }
+  }
+  mirror_lower(out);
 }
 
 }  // namespace sora::linalg

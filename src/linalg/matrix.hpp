@@ -54,4 +54,14 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Copy the lower triangle of a square matrix onto the strict upper
+/// triangle, making it symmetric.
+void mirror_lower(Matrix& a);
+
+/// out += G^T diag(w) G for a dense G (rows are constraints). `out` must be
+/// cols x cols and symmetric on entry: the update accumulates the lower
+/// triangle only and mirrors it once at the end, halving the flops of the
+/// full-square version. Zero entries of G are skipped.
+void add_AtDA(const Matrix& g, const Vec& w, Matrix& out);
+
 }  // namespace sora::linalg

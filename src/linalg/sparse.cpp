@@ -101,6 +101,10 @@ void SparseMatrix::multiply_transpose_into(const Vec& x, Vec& y) const {
 void SparseMatrix::add_AtDA(const Vec& w, Matrix& out) const {
   SORA_CHECK(w.size() == rows_);
   SORA_CHECK(out.rows() == cols_ && out.cols() == cols_);
+  // Accumulate only the lower triangle (column indices ascend within a row,
+  // so k2 <= k1 enumerates exactly the pairs with col(k2) <= col(k1)), then
+  // mirror once. Halves the scatter flops of the per-pair version; requires
+  // `out` symmetric on entry, which the Newton assembly guarantees.
   for (std::size_t r = 0; r < rows_; ++r) {
     const double wr = w[r];
     if (wr == 0.0) continue;
@@ -110,10 +114,11 @@ void SparseMatrix::add_AtDA(const Vec& w, Matrix& out) const {
       const double wv = wr * values_[k1];
       if (wv == 0.0) continue;
       double* orow = out.row_ptr(col_indices_[k1]);
-      for (std::size_t k2 = begin; k2 < end; ++k2)
+      for (std::size_t k2 = begin; k2 <= k1; ++k2)
         orow[col_indices_[k2]] += wv * values_[k2];
     }
   }
+  mirror_lower(out);
 }
 
 Vec SparseMatrix::row_abs_sums(double p) const {

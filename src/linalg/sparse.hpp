@@ -57,9 +57,9 @@ class SparseMatrix {
   void multiply_transpose_into(const Vec& x, Vec& y) const;
 
   /// out += A^T diag(w) A, iterating only the nonzeros of each row — the
-  /// IPM's Newton-system assembly kernel. `out` must be cols x cols; only
-  /// structurally present entries are touched, so the cost is
-  /// sum_r w_r * nnz(row r)^2 instead of the dense m * n^2.
+  /// IPM's Newton-system assembly kernel. `out` must be cols x cols and
+  /// symmetric on entry: the update accumulates the lower triangle only
+  /// (sum_r w_r * nnz(row r)^2 / 2 flops) and mirrors it once at the end.
   void add_AtDA(const Vec& w, Matrix& out) const;
 
   /// Row r as a (cols, vals, size) view for custom kernels.

@@ -1,6 +1,8 @@
 #include "solver/ipm.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "linalg/cholesky.hpp"
 #include "obs/obs.hpp"
@@ -52,21 +54,13 @@ struct DenseG {
       for (std::size_t c = 0; c < g.cols(); ++c) y[c] += row[c] * xr;
     }
   }
-  // hess += G^T diag(w) G, dense O(m n^2) loops (skipping zero entries).
+  // hess += G^T diag(w) G (lower-triangle accumulate + mirror; hess must be
+  // symmetric on entry, which the Newton assembly guarantees).
   void add_AtDA(const Vec& w, Matrix& hess) const {
-    const std::size_t n = g.cols();
-    for (std::size_t i = 0; i < g.rows(); ++i) {
-      const double wi = w[i];
-      const double* grow = g.row_ptr(i);
-      for (std::size_t r = 0; r < n; ++r) {
-        const double gr = grow[r];
-        if (gr == 0.0) continue;
-        double* hrow = hess.row_ptr(r);
-        const double wgr = wi * gr;
-        for (std::size_t c = 0; c < n; ++c) hrow[c] += wgr * grow[c];
-      }
-    }
+    linalg::add_AtDA(g, w, hess);
   }
+  // No CSR representation: the sparse normal-equations path stays off.
+  const SparseMatrix* csr() const { return nullptr; }
 };
 
 struct SparseG {
@@ -78,6 +72,7 @@ struct SparseG {
     g.multiply_transpose_into(x, y);
   }
   void add_AtDA(const Vec& w, Matrix& hess) const { g.add_AtDA(w, hess); }
+  const SparseMatrix* csr() const { return &g; }
 };
 
 // Handles resolved once (leaked registry gives stable addresses); the hot
@@ -88,7 +83,11 @@ struct IpmMetrics {
   obs::Histogram* backtracks;
   obs::Histogram* centerings;
   obs::Histogram* cholesky_seconds;
+  obs::Histogram* factor_seconds;
+  obs::Histogram* solve_seconds;
   obs::Histogram* final_gap;
+  obs::Counter* symbolic_builds;
+  obs::Counter* symbolic_reuse;
 };
 
 const IpmMetrics& ipm_metrics() {
@@ -107,12 +106,144 @@ const IpmMetrics& ipm_metrics() {
         &reg.histogram("sora_ipm_cholesky_seconds", "seconds",
                        "Cholesky factor+solve time per barrier solve",
                        obs::exponential_buckets(1e-6, 4.0, 14)),
+        &reg.histogram("sora_ipm_factor_seconds", "seconds",
+                       "Newton-system factorization time per barrier solve",
+                       obs::exponential_buckets(1e-6, 4.0, 14)),
+        &reg.histogram("sora_ipm_solve_seconds", "seconds",
+                       "Triangular-solve time per barrier solve",
+                       obs::exponential_buckets(1e-6, 4.0, 14)),
         &reg.histogram("sora_ipm_final_duality_gap", "gap",
                        "Duality gap bound m/t at barrier-solve exit",
                        obs::exponential_buckets(1e-10, 10.0, 12)),
+        &reg.counter("sora_ipm_symbolic_builds",
+                     "Sparse-Cholesky symbolic analyses (once per constraint "
+                     "structure)"),
+        &reg.counter("sora_ipm_symbolic_reuse",
+                     "Barrier solves that reused a cached symbolic analysis"),
     };
   }();
   return metrics;
+}
+
+std::uint64_t fnv64(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ULL;
+}
+
+// Decide dense vs sparse for this solve, (re)building the symbolic cache
+// when the structure signature changed. The signature covers the problem
+// shape, the objective's Hessian pattern, and the constraint pattern
+// restricted to ACTIVE rows (rows with any nonzero stored value): the P2
+// workspaces patch conditional rows on and off by zeroing their values in a
+// fixed CSR pattern, and excluding the zeroed rows both keeps the normal
+// matrix sparse and re-triggers analysis exactly when the effective
+// structure moves.
+bool prepare_sparse_normal(const ConvexObjective& objective,
+                           const SparseMatrix* g, std::size_t n,
+                           const IpmOptions& options, SparseNormalCache& c) {
+  if (g == nullptr || n < options.sparse_min_dim) return false;
+  c.obj_pattern.clear();
+  if (!objective.hessian_lower_structure(c.obj_pattern)) return false;
+
+  const auto& offsets = g->row_offsets();
+  const auto& cols = g->col_indices();
+  const auto& vals = g->values();
+  c.active_rows.clear();
+  for (std::size_t r = 0; r < g->rows(); ++r) {
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
+      if (vals[k] != 0.0) {
+        c.active_rows.push_back(r);
+        break;
+      }
+  }
+
+  std::uint64_t sig = 1469598103934665603ULL;
+  sig = fnv64(sig, n);
+  sig = fnv64(sig, g->rows());
+  for (const linalg::Triplet& t : c.obj_pattern) {
+    sig = fnv64(sig, t.row);
+    sig = fnv64(sig, t.col);
+  }
+  for (const std::size_t r : c.active_rows) {
+    sig = fnv64(sig, r);
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
+      sig = fnv64(sig, cols[k]);
+  }
+
+  if (c.valid && sig == c.signature) {
+    if (c.use_sparse) ipm_metrics().symbolic_reuse->inc();
+    return c.use_sparse;
+  }
+
+  // Build the lower-triangle pattern of t*H_f + G^T diag(w) G: the full
+  // diagonal (so a structurally empty column still factors under the
+  // regularization shift), the objective pattern, and one entry per pair of
+  // nonzero columns in each active constraint row.
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(n + c.obj_pattern.size());
+  for (std::size_t j = 0; j < n; ++j) trips.push_back({j, j, 0.0});
+  for (const linalg::Triplet& t : c.obj_pattern)
+    trips.push_back({t.row, t.col, 0.0});
+  for (const std::size_t r : c.active_rows)
+    for (std::size_t k1 = offsets[r]; k1 < offsets[r + 1]; ++k1)
+      for (std::size_t k2 = offsets[r]; k2 <= k1; ++k2)
+        trips.push_back({cols[k1], cols[k2], 0.0});
+  c.normal = linalg::SymSparse::from_lower_triplets(n, std::move(trips));
+
+  c.signature = sig;
+  c.valid = true;
+  if (c.normal.density() > options.sparse_max_density) {
+    c.use_sparse = false;
+    return false;
+  }
+
+  // Scatter maps: binary-search each source entry's slot in the assembled
+  // pattern once, so per-Newton-step assembly is pure indexed adds.
+  const auto entry_of = [&c](std::size_t r, std::size_t col) {
+    if (col > r) std::swap(r, col);
+    const auto begin = c.normal.cols.begin() + c.normal.row_ptr[r];
+    const auto end = c.normal.cols.begin() + c.normal.row_ptr[r + 1];
+    const auto it = std::lower_bound(begin, end, col);
+    SORA_DCHECK(it != end && *it == col);
+    return static_cast<std::size_t>(it - c.normal.cols.begin());
+  };
+  c.obj_target.clear();
+  for (const linalg::Triplet& t : c.obj_pattern)
+    c.obj_target.push_back(entry_of(t.row, t.col));
+  c.pair_target.clear();
+  for (const std::size_t r : c.active_rows)
+    for (std::size_t k1 = offsets[r]; k1 < offsets[r + 1]; ++k1)
+      for (std::size_t k2 = offsets[r]; k2 <= k1; ++k2)
+        c.pair_target.push_back(entry_of(cols[k1], cols[k2]));
+
+  c.chol.analyze(c.normal);
+  c.obj_vals.resize(c.obj_pattern.size());
+  c.use_sparse = true;
+  ipm_metrics().symbolic_builds->inc();
+  return true;
+}
+
+// Newton-system values for the sparse path: zero the pattern, scatter the
+// t-scaled objective Hessian, then w_r-weighted products of each active
+// constraint row's nonzero pairs, through the precomputed index maps.
+void assemble_sparse_normal(const ConvexObjective& objective,
+                            const SparseMatrix& g, const Vec& x, double t,
+                            const Vec& w, SparseNormalCache& c) {
+  std::fill(c.normal.values.begin(), c.normal.values.end(), 0.0);
+  objective.hessian_lower_values_into(x, c.obj_vals);
+  for (std::size_t k = 0; k < c.obj_target.size(); ++k)
+    c.normal.values[c.obj_target[k]] += t * c.obj_vals[k];
+  const auto& offsets = g.row_offsets();
+  const auto& vals = g.values();
+  std::size_t pos = 0;
+  for (const std::size_t r : c.active_rows) {
+    const double wr = w[r];
+    for (std::size_t k1 = offsets[r]; k1 < offsets[r + 1]; ++k1) {
+      const double wv = wr * vals[k1];
+      for (std::size_t k2 = offsets[r]; k2 <= k1; ++k2)
+        c.normal.values[c.pair_target[pos++]] += wv * vals[k2];
+    }
+  }
 }
 
 template <class G>
@@ -134,8 +265,16 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
   ws.dx.resize(n);
   ws.x_try.resize(n);
   ws.gt_inv_s.resize(n);
-  if (ws.hess.rows() != n || ws.hess.cols() != n) ws.hess = Matrix(n, n, 0.0);
-  if (ws.chol.rows() != n || ws.chol.cols() != n) ws.chol = Matrix(n, n, 0.0);
+  // Dense vs sparse normal equations (docs/SOLVERS.md): the sparse branch
+  // skips the n x n dense buffers entirely.
+  const bool use_sparse =
+      prepare_sparse_normal(objective, gm.csr(), n, options, ws.normal);
+  if (!use_sparse) {
+    if (ws.hess.rows() != n || ws.hess.cols() != n)
+      ws.hess = Matrix(n, n, 0.0);
+    if (ws.chol.rows() != n || ws.chol.cols() != n)
+      ws.chol = Matrix(n, n, 0.0);
+  }
 
   // Slacks s = h - Gx; all must stay strictly positive.
   const auto slacks_into = [&](const Vec& point, Vec& s) {
@@ -162,7 +301,8 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
   const bool obs_on = obs::metrics_enabled();
   std::size_t backtracks_total = 0;
   std::size_t centerings = 0;
-  double cholesky_seconds = 0.0;
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
   // Last point where the Newton decrement certified convergence to the
   // central path, with its barrier multiplier. Dual recovery 1/(t*s) is only
   // trustworthy at such points; line-search stalls at extreme t would
@@ -190,19 +330,31 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
       for (std::size_t j = 0; j < n; ++j) ws.grad[j] += ws.gt_inv_s[j];
 
       // Hessian: t H_f + G^T diag(1/s^2) G.
-      objective.hessian_into(x, ws.hess);
-      for (std::size_t r = 0; r < n; ++r) {
-        double* hrow = ws.hess.row_ptr(r);
-        for (std::size_t c = 0; c < n; ++c) hrow[c] *= t;
-      }
       for (std::size_t i = 0; i < m; ++i)
         ws.hess_w[i] = ws.inv_s[i] * ws.inv_s[i];
-      gm.add_AtDA(ws.hess_w, ws.hess);
-
-      {
-        util::ScopedTimer chol_timer(obs_on ? &cholesky_seconds : nullptr);
-        linalg::cholesky_factor_regularized_into(ws.hess, ws.chol, 1e-12,
-                                                 1e16);
+      if (use_sparse) {
+        assemble_sparse_normal(objective, *gm.csr(), x, t, ws.hess_w,
+                               ws.normal);
+        {
+          util::ScopedTimer timer(obs_on ? &factor_seconds : nullptr);
+          ws.normal.chol.factor_regularized(ws.normal.normal, 1e-12, 1e16);
+        }
+        util::ScopedTimer timer(obs_on ? &solve_seconds : nullptr);
+        for (std::size_t j = 0; j < n; ++j) ws.dx[j] = -ws.grad[j];
+        ws.normal.chol.solve_in_place(ws.dx);
+      } else {
+        objective.hessian_into(x, ws.hess);
+        for (std::size_t r = 0; r < n; ++r) {
+          double* hrow = ws.hess.row_ptr(r);
+          for (std::size_t c = 0; c < n; ++c) hrow[c] *= t;
+        }
+        gm.add_AtDA(ws.hess_w, ws.hess);
+        {
+          util::ScopedTimer timer(obs_on ? &factor_seconds : nullptr);
+          linalg::cholesky_factor_regularized_into(ws.hess, ws.chol, 1e-12,
+                                                   1e16);
+        }
+        util::ScopedTimer timer(obs_on ? &solve_seconds : nullptr);
         for (std::size_t j = 0; j < n; ++j) ws.dx[j] = -ws.grad[j];
         linalg::cholesky_solve_in_place(ws.chol, ws.dx);
       }
@@ -281,7 +433,9 @@ IpmResult solve_barrier_impl(const ConvexObjective& objective, const G& gm,
     metrics.newton_steps->observe(static_cast<double>(steps_used));
     metrics.backtracks->observe(static_cast<double>(backtracks_total));
     metrics.centerings->observe(static_cast<double>(centerings));
-    metrics.cholesky_seconds->observe(cholesky_seconds);
+    metrics.cholesky_seconds->observe(factor_seconds + solve_seconds);
+    metrics.factor_seconds->observe(factor_seconds);
+    metrics.solve_seconds->observe(solve_seconds);
     metrics.final_gap->observe(static_cast<double>(m) / t);
   }
 

@@ -23,10 +23,12 @@
 //     inner Newton loop free of heap allocation across repeated solves.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
+#include "linalg/sparse_cholesky.hpp"
 #include "solver/solution.hpp"
 
 namespace sora::solver {
@@ -48,6 +50,27 @@ class ConvexObjective {
   }
   virtual void hessian_into(const linalg::Vec& x, linalg::Matrix& h) const {
     h = hessian(x);
+  }
+
+  /// Optional sparse-Hessian interface for the sparse normal-equations path.
+  /// hessian_lower_structure appends the Hessian's sparsity pattern as
+  /// (row, col) triplets (values ignored; upper-triangle entries are folded
+  /// onto the lower triangle, duplicates allowed). The pattern must be FIXED
+  /// for the lifetime of the objective — only values may change with x.
+  /// Returning false (the default) pins the solver to the dense path.
+  virtual bool hessian_lower_structure(
+      std::vector<linalg::Triplet>& pattern) const {
+    (void)pattern;
+    return false;
+  }
+
+  /// Write one Hessian value per hessian_lower_structure() entry, in the
+  /// same order, into the preallocated `values`. Only called when
+  /// hessian_lower_structure() returned true.
+  virtual void hessian_lower_values_into(const linalg::Vec& x,
+                                         linalg::Vec& values) const {
+    (void)x;
+    (void)values;
   }
 };
 
@@ -73,6 +96,15 @@ struct IpmOptions {
   // different floor in dual recovery would make near-active rows report
   // inconsistent multipliers to the certificate machinery.
   double slack_floor = 1e-12;
+  // Sparse normal-equations switch (docs/SOLVERS.md "Normal-equations
+  // pipeline"): the symbolic-once sparse Cholesky takes over when the
+  // problem has at least sparse_min_dim variables, the CSR overload is in
+  // use, the objective implements hessian_lower_structure(), and the
+  // assembled normal matrix has density at most sparse_max_density. Below
+  // either threshold the blocked dense kernel wins on constant factors.
+  // Tests force the sparse path by dropping sparse_min_dim to 1.
+  std::size_t sparse_min_dim = 48;
+  double sparse_max_density = 0.45;
   bool log_progress = false;
 };
 
@@ -87,6 +119,26 @@ struct IpmResult {
   bool ok() const { return status == SolveStatus::kOptimal; }
 };
 
+/// Symbolic-once cache for the sparse normal-equations path, owned by
+/// IpmScratch so it survives the per-slot P2 chain. The cache is keyed by a
+/// structure signature over the constraint pattern (restricted to rows with
+/// any nonzero value — patched-off conditional rows are excluded) and the
+/// objective's Hessian pattern; while the signature holds, every Newton step
+/// reuses the fill-reducing ordering, elimination tree, and pattern of L,
+/// and assembly scatters through precomputed index maps with no allocation.
+struct SparseNormalCache {
+  std::uint64_t signature = 0;
+  bool valid = false;       // maps below match `signature`
+  bool use_sparse = false;  // the cached density-switch decision
+  linalg::SymSparse normal;      // t*H_f + G^T diag(w) G, lower triangle
+  linalg::SparseCholesky chol;
+  std::vector<linalg::Triplet> obj_pattern;  // objective Hessian pattern
+  linalg::Vec obj_vals;                      // objective Hessian values
+  std::vector<std::size_t> obj_target;   // obj entry k -> normal entry
+  std::vector<std::size_t> active_rows;  // G rows with any nonzero value
+  std::vector<std::size_t> pair_target;  // per active row, pairs k2 <= k1
+};
+
 /// Reusable scratch buffers for solve_barrier. Passing the same instance to
 /// repeated solves of same-shaped problems (the per-slot P2 chain) keeps the
 /// inner Newton loop free of heap allocation; buffers are (re)sized on entry.
@@ -94,6 +146,7 @@ struct IpmScratch {
   linalg::Vec s, inv_s, hess_w, gt_inv_s, s_try, gdx;  // m- and n-sized
   linalg::Vec grad, dx, x_try, centered_x;
   linalg::Matrix hess, chol;
+  SparseNormalCache normal;
 };
 
 /// x0 must satisfy G x0 < h strictly (checked). G is dense: rows are

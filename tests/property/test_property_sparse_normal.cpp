@@ -1,0 +1,115 @@
+// Sparse normal-equations property suite: with the density switch forced on
+// (sparse_min_dim = 1, sparse_max_density = 1), the symbolic-once sparse
+// Cholesky path must agree with the dense reference on real P2 solves
+// across all six generated regimes, reuse its symbolic analysis across a
+// multi-slot ROA run, and survive fault-injected runs through the
+// resilience chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/p2_subproblem.hpp"
+#include "core/roa.hpp"
+#include "obs/obs.hpp"
+#include "testing/fault_injection.hpp"
+#include "testing/generator.hpp"
+
+namespace sora::testing {
+namespace {
+
+core::RoaOptions forced_sparse_options() {
+  core::RoaOptions o;
+  o.ipm.sparse_min_dim = 1;
+  o.ipm.sparse_max_density = 1.0;
+  return o;
+}
+
+struct MetricsOn {
+  MetricsOn() { obs::set_metrics_enabled(true); }
+  ~MetricsOn() { obs::set_metrics_enabled(false); }
+};
+
+TEST(PropertySparseNormal, ForcedSparseMatchesDenseAcrossRegimes) {
+  constexpr std::uint64_t kSeedsPerRegime = 3;
+  for (const Regime regime : kAllRegimes) {
+    for (std::uint64_t seed = 1; seed <= kSeedsPerRegime; ++seed) {
+      GeneratorConfig cfg;
+      cfg.regime = regime;
+      cfg.seed = seed;
+      SCOPED_TRACE(cfg.describe());
+      const auto inst = generate_instance(cfg);
+
+      core::RoaOptions dense_opts;
+      dense_opts.use_sparse = false;
+      dense_opts.ipm.tol = 1e-9;
+      core::RoaOptions sparse_opts = forced_sparse_options();
+      sparse_opts.ipm.tol = 1e-9;
+
+      const core::InputSeries inputs = core::InputSeries::truth(inst);
+      core::Allocation prev = core::Allocation::zeros(inst.num_edges());
+      const std::size_t slots = std::min<std::size_t>(inst.horizon, 2);
+      for (std::size_t t = 0; t < slots; ++t) {
+        const core::P2Solution a =
+            core::solve_p2(inst, inputs, t, prev, dense_opts);
+        const core::P2Solution b =
+            core::solve_p2(inst, inputs, t, prev, sparse_opts);
+        EXPECT_NEAR(a.objective, b.objective, 1e-6) << "t=" << t;
+        for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+          EXPECT_NEAR(a.alloc.x[e], b.alloc.x[e], 1e-6) << "x " << e;
+          EXPECT_NEAR(a.alloc.y[e], b.alloc.y[e], 1e-6) << "y " << e;
+          EXPECT_NEAR(a.alloc.z[e], b.alloc.z[e], 1e-6) << "z " << e;
+        }
+        prev = a.alloc;
+      }
+    }
+  }
+}
+
+TEST(PropertySparseNormal, SymbolicCacheReusedAcrossSlots) {
+  MetricsOn guard;
+  auto& reg = obs::Registry::global();
+  auto& builds = reg.counter("sora_ipm_symbolic_builds");
+  auto& reuse = reg.counter("sora_ipm_symbolic_reuse");
+
+  GeneratorConfig cfg;
+  cfg.regime = Regime::kSmooth;
+  cfg.seed = 7;
+  const auto inst = generate_instance(cfg);
+  ASSERT_GE(inst.horizon, 2u) << "need a multi-slot chain for reuse";
+
+  const auto builds0 = builds.value();
+  const auto reuse0 = reuse.value();
+  const core::RoaRun run = core::run_roa(inst, forced_sparse_options());
+  ASSERT_EQ(run.trajectory.horizon(), inst.horizon);
+  EXPECT_TRUE(run.healthy());
+  // One analysis for the structure, then every later slot of the workspace
+  // chain hits the cache.
+  EXPECT_GT(builds.value(), builds0);
+  EXPECT_GT(reuse.value(), reuse0);
+}
+
+TEST(PropertySparseNormal, ForcedSparseSurvivesFaultInjection) {
+  constexpr std::uint64_t kSeedsPerRegime = 2;
+  for (const Regime regime : kAllRegimes) {
+    for (std::uint64_t seed = 1; seed <= kSeedsPerRegime; ++seed) {
+      GeneratorConfig cfg;
+      cfg.regime = regime;
+      cfg.seed = seed;
+      SCOPED_TRACE(cfg.describe());
+      const auto inst = generate_instance(cfg);
+
+      FaultPlan plan;
+      plan.fault_rate = 0.4;
+      plan.seed = 1000 * seed + static_cast<std::uint64_t>(regime);
+      plan.forced_attempts = 1;
+      FaultInjector injector(plan);
+
+      const core::RoaRun run = core::run_roa(inst, forced_sparse_options());
+      ASSERT_EQ(run.trajectory.horizon(), inst.horizon);
+      EXPECT_TRUE(std::isfinite(run.cost.total()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sora::testing
