@@ -13,7 +13,10 @@
 #include "linalg/sparse_cholesky.hpp"
 #include "solver/pdhg.hpp"
 #include "solver/simplex.hpp"
+#include "testing/fault_injection.hpp"
+#include "testing/generator.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -294,6 +297,97 @@ void BM_AtDA_sparse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AtDA_sparse)->Arg(64)->Arg(128)->Arg(256);
+
+// ---- Per-slot latency distribution across the online horizon. The slotted
+// loop cares about tail latency, not the mean: one slow slot delays every
+// decision behind it. Reports p50/p99 over all slots solved during the
+// benchmark for the monolithic chain, the block-decomposed path, and the
+// fault-demoted fallback (every slot's first attempt forced to fail, so the
+// timed path is demote + monolithic recovery).
+
+cloudnet::Instance slot_latency_instance() {
+  // Exactly at the kAuto thresholds (512 edges / 256 blocks): the smallest
+  // topology where the decomposed path would self-select, and the largest
+  // where a full monolithic + fallback sweep stays benchmarkable.
+  testing::ScaledTopologyConfig cfg;
+  cfg.num_tier2 = 32;
+  cfg.num_tier1 = 256;
+  cfg.sla_k = 2;
+  cfg.horizon = 3;
+  cfg.seed = 11;
+  return testing::generate_scaled_instance(cfg);
+}
+
+void run_slot_latency(benchmark::State& state, const cloudnet::Instance& inst,
+                      const core::RoaOptions& opts) {
+  std::vector<double> slot_seconds;
+  const auto inputs = core::InputSeries::truth(inst);
+  for (auto _ : state) {
+    core::P2Workspace workspace(inst, opts);
+    auto prev = core::Allocation::zeros(inst.num_edges());
+    for (std::size_t t = 0; t < inst.horizon; ++t) {
+      util::Timer timer;
+      const auto sol = workspace.solve(inputs, t, prev);
+      slot_seconds.push_back(timer.seconds());
+      prev = sol.alloc;
+      benchmark::DoNotOptimize(sol.objective);
+    }
+  }
+  std::sort(slot_seconds.begin(), slot_seconds.end());
+  const auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(slot_seconds.size() - 1) + 0.5);
+    return slot_seconds[std::min(idx, slot_seconds.size() - 1)] * 1e3;
+  };
+  state.counters["slot_p50_ms"] = pct(0.50);
+  state.counters["slot_p99_ms"] = pct(0.99);
+}
+
+void BM_SlotLatencyMonolithic(benchmark::State& state) {
+  const auto inst = slot_latency_instance();
+  core::RoaOptions opts;
+  opts.decomposition.mode = core::DecompositionOptions::Mode::kOff;
+  run_slot_latency(state, inst, opts);
+}
+BENCHMARK(BM_SlotLatencyMonolithic)->Unit(benchmark::kMillisecond);
+
+void BM_SlotLatencyDecomposed(benchmark::State& state) {
+  const auto inst = slot_latency_instance();
+  core::RoaOptions opts;
+  opts.decomposition.mode = core::DecompositionOptions::Mode::kForce;
+  run_slot_latency(state, inst, opts);
+}
+BENCHMARK(BM_SlotLatencyDecomposed)->Unit(benchmark::kMillisecond);
+
+void BM_SlotLatencyFallback(benchmark::State& state) {
+  const auto inst = slot_latency_instance();
+  core::RoaOptions opts;
+  opts.decomposition.mode = core::DecompositionOptions::Mode::kForce;
+  testing::FaultPlan plan;
+  plan.fault_rate = 1.0;  // every slot: decomposed attempt fails, demote
+  plan.forced_attempts = 1;
+  plan.mix_kinds = false;
+  testing::FaultInjector injector(plan);
+  run_slot_latency(state, inst, opts);
+}
+BENCHMARK(BM_SlotLatencyFallback)->Unit(benchmark::kMillisecond);
+
+// The paper-scale acceptance point: the decomposed path on the full
+// 200x2000 scaled topology (6000 edges, 2000 blocks). One iteration solves
+// two slots (cold + warm). Heavy by construction — excluded from the CI
+// bench-smoke filter; run via bench/run_benchmarks.sh for the committed
+// BENCH_solver.json.
+void BM_SlotLatencyScaledDecomposed(benchmark::State& state) {
+  testing::ScaledTopologyConfig cfg;  // 200 x 2000 / k3 defaults
+  cfg.horizon = 2;
+  const auto inst = testing::generate_scaled_instance(cfg);
+  core::RoaOptions opts;
+  opts.decomposition.mode = core::DecompositionOptions::Mode::kForce;
+  run_slot_latency(state, inst, opts);
+}
+BENCHMARK(BM_SlotLatencyScaledDecomposed)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

@@ -639,6 +639,16 @@ class NTierSlotSolver {
  public:
   NTierSlotSolver(const NTierInstance& inst, const NTierRoaOptions& options)
       : inst_(inst), options_(options), fidx_(inst) {
+    if (options_.decomposition.mode == DecompositionOptions::Mode::kForce) {
+      // The n-tier slot problem couples commodities through the shared
+      // per-node x_v and per-link y_l resource variables themselves, not
+      // just through capacity rows, so the per-SLA-group block split of the
+      // two-tier P2 does not exist here. Honour the request by saying why
+      // it cannot be honoured, then solve monolithically.
+      SORA_LOG_WARN << "ntier: decomposition forced but the slot problem "
+                       "couples blocks through shared resource variables; "
+                       "routing monolithic by structure";
+    }
     build_constraints();
   }
 

@@ -740,12 +740,19 @@ struct P2Workspace::Impl {
   solver::IpmScratch scratch;
   Vec start, anchor, slack_buf;
 
+  // Block-decomposed primary path (created only when selected); a stall
+  // falls through to the monolithic chain below.
+  std::unique_ptr<P2DecomposedSolver> decomposed;
+
   Impl(const Instance& inst_, const RoaOptions& options_)
       : inst(inst_), options(options_), layout(layout_for(inst_)),
         objective(inst_, options_) {
     build_pattern();
     h = h_static;
     slack_buf.assign(g.rows(), 0.0);
+    if (options.use_sparse &&
+        decomposition_selected(inst, options.decomposition))
+      decomposed = std::make_unique<P2DecomposedSolver>(inst, options);
   }
 
   void build_pattern() {
@@ -1148,6 +1155,55 @@ struct P2Workspace::Impl {
     return true;
   }
 
+  // One decomposed (ADMM / dual) attempt: solve, let the fault hook
+  // interfere, demote non-finite answers, and on success adopt the point
+  // into the workspace (true-objective evaluation + monolithic warm-start
+  // state) along with the block-recovered multipliers.
+  bool try_decomposed(const InputSeries& inputs, std::size_t t,
+                      const Allocation& prev, P2Solution& out,
+                      SolveOutcome& outcome, std::size_t& attempt,
+                      double& barrier_seconds) {
+    DecomposedResult dres;
+    std::string fail;
+    bool ok;
+    {
+      SORA_TRACE_SPAN("p2/decomposed");
+      util::ScopedTimer solve_timer(&barrier_seconds);
+      ok = decomposed->solve(inputs, t, prev, dres, fail);
+    }
+    solver::SolveStatus status = ok ? solver::SolveStatus::kOptimal
+                                    : solver::SolveStatus::kNumericalError;
+    apply_fault(consult_fault_hook(t, attempt), status, dres.packed);
+    if (status == solver::SolveStatus::kOptimal &&
+        !all_finite(dres.packed)) {
+      status = solver::SolveStatus::kNumericalError;
+      fail += fail.empty() ? "non-finite solution" : " [non-finite solution]";
+    }
+    ++attempt;
+    const SolveBackend backend =
+        options.decomposition.method ==
+                DecompositionOptions::Method::kConsensusAdmm
+            ? SolveBackend::kDecomposedAdmm
+            : SolveBackend::kDecomposedDual;
+    outcome.backend = backend;
+    outcome.status = status;
+    if (status != solver::SolveStatus::kOptimal) {
+      if (!outcome.detail.empty()) outcome.detail += "; ";
+      outcome.detail += std::string(to_string(backend)) + ": " +
+                        (fail.empty() ? solver::to_string(status) : fail);
+      return false;
+    }
+    fill_from_point(dres.packed, out);
+    out.newton_steps = dres.newton_steps;
+    out.rho = std::move(dres.rho);
+    out.phi = std::move(dres.phi);
+    out.gamma = std::move(dres.gamma);
+    out.theta = std::move(dres.theta);
+    out.sigma = std::move(dres.sigma);
+    out.delta.assign(inst.num_tier2(), 0.0);
+    return true;
+  }
+
   P2Solution solve(const InputSeries& inputs, std::size_t t,
                    const Allocation& prev) {
     SORA_CHECK(t < inst.horizon);
@@ -1168,6 +1224,41 @@ struct P2Workspace::Impl {
       util::ScopedTimer build_timer(&build_seconds);
       patch_slot(inputs, t);
       objective.begin_slot(inputs, t, prev);
+    }
+
+    const ResilienceOptions& res = options.resilience;
+    SolveOutcome outcome;
+    std::size_t attempt = 0;
+    solver::IpmResult result;
+    P2Solution out;
+
+    // Decomposed primary attempt: a stall (or injected fault) falls through
+    // to the monolithic barrier as the next stage of the chain.
+    bool decomposed_solved = false;
+    if (decomposed != nullptr) {
+      decomposed_solved =
+          try_decomposed(inputs, t, prev, out, outcome, attempt,
+                         barrier_seconds);
+      if (!decomposed_solved)
+        SORA_LOG_WARN << "p2: decomposed solve failed at t=" << t << " ("
+                      << outcome.detail << "); demoting to monolithic";
+    }
+
+    if (decomposed_solved) {
+      outcome.attempts = attempt;
+      out.outcome = outcome;
+      observe_outcome(outcome);
+      out.timing.build_seconds = build_seconds;
+      out.timing.solve_seconds = barrier_seconds;
+      out.timing.newton_steps = out.newton_steps;
+      out.timing.warm_started = false;
+      observe_p2_timing(out.timing);
+      return out;
+    }
+
+    {
+      SORA_TRACE_SPAN("p2/start");
+      util::ScopedTimer build_timer(&build_seconds);
       warm = compute_start(inputs, t);
       if (warm) {
         // Near-optimal starts waste outer iterations re-centering at small
@@ -1176,11 +1267,6 @@ struct P2Workspace::Impl {
         ipm.t0 = std::max(ipm.t0, static_cast<double>(g.rows()) / 1e-2);
       }
     }
-
-    const ResilienceOptions& res = options.resilience;
-    SolveOutcome outcome;
-    std::size_t attempt = 0;
-    solver::IpmResult result;
 
     // One barrier attempt: solve, let the fault hook interfere, demote
     // non-finite "optimal" answers, and record the failure trail.
@@ -1236,7 +1322,6 @@ struct P2Workspace::Impl {
       }
     }
 
-    P2Solution out;
     if (solved) {
       extract_primal(layout, result, out);
 
@@ -1322,7 +1407,10 @@ P2Solution P2Workspace::solve(const InputSeries& inputs, std::size_t t,
   return impl_->solve(inputs, t, prev);
 }
 
-void P2Workspace::reset_warm_start() { impl_->has_last = false; }
+void P2Workspace::reset_warm_start() {
+  impl_->has_last = false;
+  if (impl_->decomposed != nullptr) impl_->decomposed->reset_warm_start();
+}
 
 const RoaOptions& P2Workspace::options() const { return impl_->options; }
 

@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "core/p1_model.hpp"
+#include "core/p2_decomposed.hpp"
 #include "core/resilience.hpp"
 #include "core/types.hpp"
 #include "solver/ipm.hpp"
@@ -58,6 +59,13 @@ struct RoaOptions {
   // linear surrogate -> hold x_{t-1} + cheapest coverage repair instead of
   // aborting. The dense reference path stays fail-fast.
   ResilienceOptions resilience;
+
+  // Block-decomposed primary path (core/p2_decomposed): when selected
+  // (kAuto size heuristic or kForce), each sparse-pipeline slot first runs
+  // the per-SLA-group decomposed solve; a stall demotes to the monolithic
+  // barrier and the rest of the fallback chain. kOff and the dense
+  // reference path never decompose.
+  DecompositionOptions decomposition;
 
   RoaOptions() { ipm.tol = 1e-6; }
 };

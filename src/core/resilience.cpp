@@ -18,6 +18,8 @@ const char* to_string(SolveBackend backend) {
     case SolveBackend::kSimplex: return "simplex";
     case SolveBackend::kPdhg: return "pdhg";
     case SolveBackend::kHoldRepair: return "hold_repair";
+    case SolveBackend::kDecomposedAdmm: return "decomposed_admm";
+    case SolveBackend::kDecomposedDual: return "decomposed_dual";
   }
   return "?";
 }
@@ -68,7 +70,7 @@ const ResilienceMetrics& resilience_metrics() {
                      "Faults applied by the injection hook"),
         &reg.histogram("sora_resilience_attempts", "attempts",
                        "Backends tried per slot solve",
-                       obs::linear_buckets(1.0, 1.0, 6)),
+                       obs::linear_buckets(1.0, 1.0, 8)),
         {},
     };
     for (std::size_t b = 0; b < kNumBackends; ++b)

@@ -44,10 +44,13 @@ enum class SolveBackend {
   kSimplex,       // simplex on the slot's linear surrogate
   kPdhg,          // PDHG on the slot's linear surrogate
   kHoldRepair,    // graceful degradation: hold x_{t-1} + cheapest repair
+  kDecomposedAdmm,  // block-decomposed consensus ADMM over per-SLA-group
+                    // barrier solves (core/p2_decomposed)
+  kDecomposedDual,  // dual-decomposition variant behind the same interface
 };
 
 const char* to_string(SolveBackend backend);
-inline constexpr std::size_t kNumBackends = 6;
+inline constexpr std::size_t kNumBackends = 8;
 
 /// How one slot's solve ended: status, producing backend, chain depth.
 struct SolveOutcome {

@@ -7,7 +7,6 @@
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
-#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace sora::solver {
@@ -72,22 +71,6 @@ ScaledProblem ruiz_scale(const LpModel& model, std::size_t iterations) {
   return p;
 }
 
-double estimate_spectral_norm(const SparseMatrix& a, std::size_t iterations) {
-  if (a.rows() == 0 || a.cols() == 0 || a.nonzeros() == 0) return 1.0;
-  util::Rng rng(12345);
-  Vec v(a.cols());
-  for (double& x : v) x = rng.normal();
-  double norm = 1.0;
-  for (std::size_t it = 0; it < iterations; ++it) {
-    Vec w = a.multiply(v);
-    v = a.multiply_transpose(w);
-    norm = linalg::norm2(v);
-    if (norm == 0.0) return 1.0;
-    linalg::scale(v, 1.0 / norm);
-  }
-  return std::sqrt(std::max(norm, 1e-30));
-}
-
 double clamp_to(double v, double lo, double hi) {
   return std::min(std::max(v, lo), hi);
 }
@@ -110,7 +93,29 @@ class Pdhg {
         scaled_(ruiz_scale(model, options.ruiz_iterations)) {
     n_ = scaled_.c.size();
     m_ = scaled_.row_lower.size();
-    op_norm_ = estimate_spectral_norm(scaled_.a, 30);
+
+    // Pock–Chambolle diagonal preconditioning (alpha = 1): per-variable
+    // primal steps tau_j = 1 / sum_i |A_ij| and per-row dual steps
+    // sigma_r = 1 / sum_j |A_ij| satisfy ||Sigma^(1/2) A Tau^(1/2)|| <= 1
+    // by construction, so no spectral-norm estimate is needed and rows or
+    // columns the equilibration left heavy (the covering LP's dense
+    // coverage rows) get correspondingly gentler steps instead of dragging
+    // the single scalar step size down for everyone.
+    const Vec row_sums = scaled_.a.row_abs_sums(1.0);
+    const Vec col_sums = scaled_.a.col_abs_sums(1.0);
+    tau_.assign(n_, 1.0);
+    sigma_.assign(m_, 1.0);
+    for (std::size_t j = 0; j < n_; ++j)
+      if (col_sums[j] > 1e-12) tau_[j] = 1.0 / col_sums[j];
+    for (std::size_t r = 0; r < m_; ++r)
+      if (row_sums[r] > 1e-12) sigma_[r] = 1.0 / row_sums[r];
+
+    // Preallocated step buffers: the step loop is allocation-free.
+    aty_.assign(n_, 0.0);
+    xnew_.assign(n_, 0.0);
+    xbar_.assign(n_, 0.0);
+    ax_.assign(m_, 0.0);
+
     // Termination is measured in the ORIGINAL space (scaled-space residuals
     // can look tiny while the unscaled point is far from optimal).
     c_norm_ = linalg::norm2(model.objective);
@@ -131,8 +136,8 @@ class Pdhg {
 
     Vec x_avg = x, y_avg = y;
     std::size_t avg_count = 0;
-    double omega = initial_primal_weight();
     double last_restart_error = kInf;
+    double prev_check_error = kInf;
     std::uint64_t restarts = 0;
     KktError best_err;
     Vec best_x = x, best_y = y;
@@ -140,7 +145,7 @@ class Pdhg {
 
     std::size_t iter = 0;
     for (; iter < options_.max_iterations; ++iter) {
-      step(x, y, omega);
+      step(x, y);
 
       // Running average (uniform) since the last restart.
       ++avg_count;
@@ -176,10 +181,16 @@ class Pdhg {
         break;
       }
 
-      // Adaptive restart: when the KKT error has dropped enough since the
-      // last restart, re-center on the better iterate and rebalance the
-      // primal weight from the residual ratio.
-      if (err.total() < 0.42 * last_restart_error || avg_count >= 4000) {
+      // Adaptive restart (PDLP-style): "sufficient" when the KKT error has
+      // dropped well below the last restart's, "necessary" when it made
+      // modest progress but is now trending back up (the spiral regime of
+      // degenerate LPs, where waiting longer only orbits the solution), and
+      // "artificial" when the averaging window has grown stale.
+      const bool sufficient = err.total() < 0.42 * last_restart_error;
+      const bool necessary = err.total() < 0.9 * last_restart_error &&
+                             err.total() > prev_check_error;
+      prev_check_error = err.total();
+      if (sufficient || necessary || avg_count >= 1000) {
         ++restarts;
         if (avg_better) {
           x = x_avg;
@@ -189,12 +200,7 @@ class Pdhg {
         y_avg = y;
         avg_count = 0;
         last_restart_error = err.total();
-        if (err.primal > 1e-30 && err.dual > 1e-30) {
-          const double target = std::sqrt(err.dual / err.primal);
-          omega = clamp_to(std::exp(0.5 * std::log(omega) +
-                                    0.5 * std::log(target)),
-                           1e-4, 1e4);
-        }
+        prev_check_error = kInf;
       }
     }
 
@@ -247,40 +253,36 @@ class Pdhg {
   }
 
  private:
-  double initial_primal_weight() const {
-    // PDLP heuristic: balance ||c|| against ||rhs||.
-    if (c_norm_ > 1e-12 && rhs_norm_ > 1e-12) return c_norm_ / rhs_norm_;
-    return 1.0;
-  }
-
   void project_box(Vec& x) const {
     for (std::size_t j = 0; j < n_; ++j)
       x[j] = clamp_to(x[j], scaled_.var_lower[j], scaled_.var_upper[j]);
   }
 
-  // One PDHG step: x <- proj(x - tau (c + A^T y)); y <- prox(y + sigma A xbar).
-  void step(Vec& x, Vec& y, double omega) const {
-    const double tau = omega / op_norm_;
-    const double sigma = 1.0 / (omega * op_norm_);
-
-    const Vec aty = scaled_.a.multiply_transpose(y);
-    Vec x_new(n_);
+  // One PDHG step: x <- proj(x - T (c + A^T y)); y <- prox(y + S A xbar),
+  // with T = diag(tau_) and S = diag(sigma_). There is no scalar primal
+  // weight on top: the preconditioner already balances the two spaces, and
+  // experiments with rebalancing a weight at restarts (from residual ratios
+  // or from epoch movement, PDLP-style) consistently stalled the tail on
+  // covering LPs — the weight drifts away from 1 and freezes the side that
+  // still has complementarity slack to burn off.
+  void step(Vec& x, Vec& y) {
+    scaled_.a.multiply_transpose_into(y, aty_);
     for (std::size_t j = 0; j < n_; ++j) {
-      x_new[j] = clamp_to(x[j] - tau * (scaled_.c[j] + aty[j]),
+      xnew_[j] = clamp_to(x[j] - tau_[j] * (scaled_.c[j] + aty_[j]),
                           scaled_.var_lower[j], scaled_.var_upper[j]);
+      xbar_[j] = 2.0 * xnew_[j] - x[j];
     }
-    Vec xbar(n_);
-    for (std::size_t j = 0; j < n_; ++j) xbar[j] = 2.0 * x_new[j] - x[j];
 
-    const Vec ax = scaled_.a.multiply(xbar);
+    scaled_.a.multiply_into(xbar_, ax_);
     for (std::size_t r = 0; r < m_; ++r) {
-      const double v = y[r] + sigma * ax[r];
+      const double sigma = sigma_[r];
+      const double v = y[r] + sigma * ax_[r];
       // prox of the support function of [l, u]: v - sigma * proj_[l,u](v/sigma)
       const double z = clamp_to(v / sigma, scaled_.row_lower[r],
                                 scaled_.row_upper[r]);
       y[r] = v - sigma * z;
     }
-    x = std::move(x_new);
+    x.swap(xnew_);
   }
 
   // KKT residuals of the UNSCALED point corresponding to scaled (x, y).
@@ -356,9 +358,11 @@ class Pdhg {
   ScaledProblem scaled_;
   std::size_t n_ = 0;
   std::size_t m_ = 0;
-  double op_norm_ = 1.0;
   double c_norm_ = 0.0;
   double rhs_norm_ = 0.0;
+  Vec tau_;    // per-variable primal step scale
+  Vec sigma_;  // per-row dual step scale
+  Vec aty_, xnew_, xbar_, ax_;  // step() scratch, sized once
 };
 
 }  // namespace

@@ -17,6 +17,7 @@ using cloudnet::Instance;
 using core::RoaOptions;
 using core::RoaRun;
 using linalg::max_abs_diff;
+using linalg::Vec;
 
 struct Backend {
   const char* name;
@@ -122,6 +123,43 @@ DiffReport differential_roa(const Instance& inst, const std::string& label,
     const double cb = runs[k].cost.total();
     rec.require(pair + " cost", std::fabs(ca - cb) / (1.0 + std::fabs(ca)),
                 options.cost_tol);
+  }
+
+  if (options.include_decomposed) {
+    RoaOptions dec_opt;
+    dec_opt.ipm.tol = options.ipm_tol;
+    dec_opt.decomposition.mode = core::DecompositionOptions::Mode::kForce;
+    // Tight consensus stopping for agreement checks (the production default
+    // is looser; restoration covers feasibility there).
+    dec_opt.decomposition.eps_rel = 1e-5;
+    dec_opt.decomposition.eps_abs = 1e-8;
+    const RoaRun dec = core::run_roa(inst, dec_opt);
+
+    const InvariantReport inv = check_trajectory(inst, dec.trajectory);
+    if (!inv.ok())
+      rec.mismatch("decomposed invariants: " + inv.violations.front().invariant,
+                   inv.violations.front().magnitude);
+
+    // Compare on cost, per-cloud aggregates, and y: the per-edge x split is
+    // not unique on the optimal face (see DiffOptions).
+    for (std::size_t t = 0; t < inst.horizon; ++t) {
+      const auto& a = runs[0].trajectory.slots[t];
+      const auto& b = dec.trajectory.slots[t];
+      Vec agg_a(inst.num_tier2(), 0.0), agg_b(inst.num_tier2(), 0.0);
+      for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+        agg_a[inst.edges[e].tier2] += a.x[e];
+        agg_b[inst.edges[e].tier2] += b.x[e];
+      }
+      rec.require("dense-vs-decomposed X@t" + std::to_string(t),
+                  max_abs_diff(agg_a, agg_b), options.decomposed_primal_tol);
+      rec.require("dense-vs-decomposed y@t" + std::to_string(t),
+                  max_abs_diff(a.y, b.y), options.decomposed_primal_tol);
+    }
+    const double ca = runs[0].cost.total();
+    const double cb = dec.cost.total();
+    rec.require("dense-vs-decomposed cost",
+                std::fabs(ca - cb) / (1.0 + std::fabs(ca)),
+                options.decomposed_cost_tol);
   }
   return report;
 }

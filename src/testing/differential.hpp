@@ -36,6 +36,17 @@ struct DiffOptions {
   // Max constraint violation allowed for each LP backend's primal answer.
   double lp_feas_tol = 1e-5;
   bool dump_on_failure = true;
+
+  // Also run the block-decomposed backend (decomposition mode kForce) and
+  // compare it against the dense reference. The per-edge x split inside an
+  // SLA group is not unique on the optimal face (price ties), so the
+  // decomposed comparison uses total cost, the per-cloud aggregates X_i the
+  // objective actually sees, and the per-edge y (strictly convex per edge).
+  // ADMM stops at consensus-residual tolerances far looser than ipm_tol,
+  // hence the separate tolerances.
+  bool include_decomposed = false;
+  double decomposed_primal_tol = 5e-2;
+  double decomposed_cost_tol = 5e-3;
 };
 
 struct DiffMismatch {

@@ -1,8 +1,11 @@
 #include "testing/generator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 #include <string>
 
+#include "cloudnet/geo.hpp"
 #include "cloudnet/workload.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -257,6 +260,166 @@ core::NTierInstance generate_ntier_instance(const GeneratorConfig& cfg) {
       break;
     }
   }
+  return inst;
+}
+
+// ---------------------------------------------------------------------------
+// Scaled topologies.
+
+std::string ScaledTopologyConfig::describe() const {
+  return "scaled-" + std::to_string(num_tier2) + "x" +
+         std::to_string(num_tier1) + "/k" + std::to_string(sla_k) + "/" +
+         std::to_string(seed);
+}
+
+cloudnet::Instance generate_scaled_instance(const ScaledTopologyConfig& cfg) {
+  SORA_CHECK(cfg.num_tier2 >= 1);
+  SORA_CHECK(cfg.num_tier1 >= 1);
+  SORA_CHECK(cfg.sla_k >= 1);
+  SORA_CHECK(cfg.horizon >= 1);
+  SORA_CHECK(cfg.capacity_margin > 1.0);
+
+  const util::Rng master(cfg.seed);
+  util::Rng geo_rng = master.child(kSizeStream);
+  util::Rng demand_rng = master.child(kTraceStream);
+  util::Rng price_rng = master.child(kPriceStream);
+
+  // Continental-US bounding box for the synthesized populated-place grid.
+  static constexpr double kLatLo = 25.0, kLatHi = 49.0;
+  static constexpr double kLonLo = -124.0, kLonHi = -67.0;
+  const auto clamp_box = [](cloudnet::Site& s) {
+    s.latitude = std::clamp(s.latitude, kLatLo, kLatHi);
+    s.longitude = std::clamp(s.longitude, kLonLo, kLonHi);
+  };
+
+  cloudnet::Instance inst;
+  inst.horizon = cfg.horizon;
+
+  // Tier-2 metro anchors: uniform over the box (deterministic in seed).
+  inst.tier2_sites.reserve(cfg.num_tier2);
+  for (std::size_t i = 0; i < cfg.num_tier2; ++i) {
+    cloudnet::Site s;
+    s.name = "metro-" + std::to_string(i);
+    s.state = "XX";
+    s.latitude = geo_rng.uniform(kLatLo, kLatHi);
+    s.longitude = geo_rng.uniform(kLonLo, kLonHi);
+    inst.tier2_sites.push_back(std::move(s));
+  }
+
+  // Tier-1 populated places: clustered around a random metro with Gaussian
+  // jitter (sigma ~ 1.5 degrees — cities crowd their metro), a thin uniform
+  // tail so remote sites exist too.
+  inst.tier1_sites.reserve(cfg.num_tier1);
+  for (std::size_t j = 0; j < cfg.num_tier1; ++j) {
+    cloudnet::Site s;
+    s.name = "place-" + std::to_string(j);
+    s.state = "XX";
+    if (geo_rng.uniform() < 0.9) {
+      const auto& anchor =
+          inst.tier2_sites[geo_rng.uniform_index(cfg.num_tier2)];
+      s.latitude = geo_rng.normal(anchor.latitude, 1.5);
+      s.longitude = geo_rng.normal(anchor.longitude, 1.5);
+    } else {
+      s.latitude = geo_rng.uniform(kLatLo, kLatHi);
+      s.longitude = geo_rng.uniform(kLonLo, kLonHi);
+    }
+    clamp_box(s);
+    inst.tier1_sites.push_back(std::move(s));
+  }
+
+  // SLA sets: k geographically nearest metros per place (paper rule).
+  const std::size_t k = std::min(cfg.sla_k, cfg.num_tier2);
+  const auto nearest =
+      cloudnet::k_nearest(inst.tier1_sites, inst.tier2_sites, k);
+  inst.edges_of_tier1.resize(cfg.num_tier1);
+  inst.edges_of_tier2.resize(cfg.num_tier2);
+  for (std::size_t j = 0; j < cfg.num_tier1; ++j) {
+    for (const std::size_t i : nearest[j]) {
+      const std::size_t e = inst.edges.size();
+      inst.edges.push_back({j, i});
+      inst.edges_of_tier1[j].push_back(e);
+      inst.edges_of_tier2[i].push_back(e);
+    }
+  }
+
+  // Demand: per-site diurnal curve (daily harmonic, random phase) scaled by
+  // a Pareto site weight — a few big cities, a long tail of small ones.
+  // Weights are normalized to mean 1 so costs stay comparable across sizes.
+  std::vector<double> weight(cfg.num_tier1, 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t j = 0; j < cfg.num_tier1; ++j) {
+    weight[j] = demand_rng.pareto(1.5, 1.0);
+    weight_sum += weight[j];
+  }
+  const double weight_mean =
+      weight_sum / static_cast<double>(cfg.num_tier1);
+  inst.demand.assign(cfg.horizon, std::vector<double>(cfg.num_tier1, 0.0));
+  for (std::size_t j = 0; j < cfg.num_tier1; ++j) {
+    const double phase =
+        demand_rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double depth = demand_rng.uniform(0.2, 0.45);
+    for (std::size_t t = 0; t < cfg.horizon; ++t) {
+      const double diurnal =
+          1.0 + depth * std::sin(2.0 * std::numbers::pi *
+                                     static_cast<double>(t) / 24.0 +
+                                 phase);
+      inst.demand[t][j] = weight[j] / weight_mean * diurnal;
+    }
+  }
+
+  // Capacities: the paper's provisioning rule — each place's peak splits
+  // evenly across its k SLA clouds, and the peak consumes 1/margin of the
+  // provisioned capacity. Edge capacity carries the edge's own share;
+  // tier-2 capacity is the sum of its incident shares.
+  std::vector<double> peak_j(cfg.num_tier1, 0.0);
+  for (std::size_t t = 0; t < cfg.horizon; ++t)
+    for (std::size_t j = 0; j < cfg.num_tier1; ++j)
+      peak_j[j] = std::max(peak_j[j], inst.demand[t][j]);
+  inst.tier2_capacity.assign(cfg.num_tier2, 0.0);
+  inst.edge_capacity.assign(inst.num_edges(), 0.0);
+  for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+    const double share = cfg.capacity_margin * peak_j[inst.edges[e].tier1] /
+                         static_cast<double>(k);
+    inst.edge_capacity[e] = share;
+    inst.tier2_capacity[inst.edges[e].tier2] += share;
+  }
+
+  // Prices: lognormal-ish site levels with mild per-slot wobble, normalized
+  // to mean 1 (matching build_instance, so reconfig_weight keeps meaning "a
+  // multiple of the typical operating price"). Edge prices likewise mean 1.
+  inst.tier2_price.assign(cfg.horizon,
+                          std::vector<double>(cfg.num_tier2, 0.0));
+  double price_sum = 0.0;
+  for (std::size_t i = 0; i < cfg.num_tier2; ++i) {
+    const double level = std::exp(price_rng.normal(0.0, 0.3));
+    for (std::size_t t = 0; t < cfg.horizon; ++t) {
+      const double p = level * (1.0 + 0.1 * price_rng.normal());
+      inst.tier2_price[t][i] = std::max(p, 1e-3);
+      price_sum += inst.tier2_price[t][i];
+    }
+  }
+  const double price_mean =
+      price_sum / static_cast<double>(cfg.horizon * cfg.num_tier2);
+  for (auto& row : inst.tier2_price)
+    for (double& p : row) p /= price_mean;
+
+  inst.edge_price.assign(inst.num_edges(), 0.0);
+  double edge_sum = 0.0;
+  for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+    inst.edge_price[e] = std::exp(price_rng.normal(0.0, 0.25));
+    edge_sum += inst.edge_price[e];
+  }
+  const double edge_mean = edge_sum / static_cast<double>(inst.num_edges());
+  for (double& p : inst.edge_price) p /= edge_mean;
+
+  inst.tier2_reconfig.assign(cfg.num_tier2, cfg.reconfig_weight);
+  inst.edge_reconfig.assign(inst.num_edges(), cfg.reconfig_weight);
+
+  const auto report = cloudnet::validate_instance(inst);
+  SORA_CHECK_MSG(report.ok, "scaled instance failed validation: " +
+                                (report.problems.empty()
+                                     ? std::string("?")
+                                     : report.problems.front()));
   return inst;
 }
 

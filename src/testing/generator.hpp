@@ -67,4 +67,33 @@ cloudnet::Instance generate_instance(const GeneratorConfig& cfg);
 /// demand; kDegeneratePrices degenerates node and link prices.
 core::NTierInstance generate_ntier_instance(const GeneratorConfig& cfg);
 
+// ---------------------------------------------------------------------------
+// Scaled topologies — 10-100x beyond the paper's 18x48 layout.
+//
+// The geographic site lists bundled with cloudnet top out at 18 tier-2
+// metros and 48 capitals. Decomposed-solver benchmarks and stress tests
+// need topologies far past that, so this generator synthesizes a clustered
+// populated-place grid over the continental US: tier-2 "metro" anchors
+// drawn across the lat/lon box, tier-1 edge sites scattered around them
+// with Gaussian jitter (cities cluster near metros), Pareto-weighted
+// per-site diurnal demand, mean-1 prices, and the paper's provisioning rule
+// for capacities (peak consumes 1/margin, split across the k SLA clouds).
+
+struct ScaledTopologyConfig {
+  std::size_t num_tier2 = 200;
+  std::size_t num_tier1 = 2000;
+  std::size_t sla_k = 3;   // clouds per SLA subset (k geographically nearest)
+  std::size_t horizon = 4;
+  double capacity_margin = 1.25;
+  double reconfig_weight = 1e3;
+  std::uint64_t seed = 1;
+
+  /// "scaled-<tier2>x<tier1>/k<sla_k>/<seed>" — replay key.
+  std::string describe() const;
+};
+
+/// Deterministic scaled instance for `cfg`. Feasible by construction
+/// (validated with cloudnet::validate_instance before return).
+cloudnet::Instance generate_scaled_instance(const ScaledTopologyConfig& cfg);
+
 }  // namespace sora::testing
