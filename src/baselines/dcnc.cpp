@@ -1,0 +1,118 @@
+#include "baselines/dcnc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/cost.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace sora::baselines {
+namespace {
+
+// Instantaneous unit price of serving on edge e at slot t: tier-2 allocation
+// plus the link, plus tier-1 processing when the instance models it. DCNC
+// deliberately ignores the reconfiguration prices b_i / d_e — that is the
+// structural difference from ROA this baseline exists to measure.
+double edge_unit_price(const core::Instance& inst, std::size_t t,
+                       std::size_t e) {
+  const auto& edge = inst.edges[e];
+  double price = inst.tier2_price[t][edge.tier2] + inst.edge_price[e];
+  if (inst.has_tier1()) price += inst.tier1_price[t][edge.tier1];
+  return price;
+}
+
+}  // namespace
+
+DcncRun run_dcnc(const core::Instance& inst, const DcncOptions& options) {
+  SORA_CHECK(options.V >= 0.0);
+  util::Timer timer;
+
+  const std::size_t T = inst.horizon;
+  const std::size_t J = inst.num_tier1();
+  const std::size_t I = inst.num_tier2();
+  const std::size_t E = inst.num_edges();
+
+  DcncRun run;
+  run.trajectory.slots.reserve(T);
+  run.queue_total.reserve(T);
+
+  std::vector<double> queue(J, 0.0);    // Q_j carried across slots
+  std::vector<double> pressure(J, 0.0); // Q_j + lambda_jt
+  std::vector<double> budget(J, 0.0);   // servable this slot per site
+  std::vector<double> cloud_left(I, 0.0);
+  std::vector<double> tier1_left;
+  std::vector<std::size_t> order(E);
+  std::vector<double> weight(E, 0.0);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t j = 0; j < J; ++j) {
+      const double lambda = inst.demand[t][j];
+      run.total_demand += lambda;
+      // What max-weight may serve this slot: fresh arrivals plus the
+      // (possibly capped) backlog drain.
+      double serviceable = queue[j];
+      if (options.max_drain_per_slot > 0.0)
+        serviceable = std::min(serviceable, options.max_drain_per_slot);
+      pressure[j] = queue[j] + lambda;
+      budget[j] = lambda + serviceable;
+    }
+
+    cloud_left = inst.tier2_capacity;
+    if (inst.has_tier1()) tier1_left = inst.tier1_capacity;
+
+    // Max-weight scheduling, greedy: serve the highest-pressure-over-price
+    // edges first. Weights are fixed at the slot-start queue state (the
+    // standard drift-plus-penalty decision rule), so one descending pass is
+    // the max-weight allocation for this polymatroid-free relaxation.
+    for (std::size_t e = 0; e < E; ++e)
+      weight[e] = pressure[inst.edges[e].tier1] -
+                  options.V * edge_unit_price(inst, t, e);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return weight[a] > weight[b];
+                     });
+
+    core::Allocation alloc = core::Allocation::zeros(E);
+    for (const std::size_t e : order) {
+      if (weight[e] <= 0.0) break;  // queue pressure below V * price
+      const auto& edge = inst.edges[e];
+      double s = std::min(budget[edge.tier1], cloud_left[edge.tier2]);
+      s = std::min(s, inst.edge_capacity[e]);
+      if (inst.has_tier1()) s = std::min(s, tier1_left[edge.tier1]);
+      if (s <= 0.0) continue;
+      alloc.x[e] = alloc.y[e] = s;
+      if (inst.has_tier1()) {
+        alloc.z[e] = s;
+        tier1_left[edge.tier1] -= s;
+      }
+      budget[edge.tier1] -= s;
+      cloud_left[edge.tier2] -= s;
+    }
+
+    double backlog = 0.0;
+    for (std::size_t j = 0; j < J; ++j) {
+      double served = 0.0;
+      for (const std::size_t e : inst.edges_of_tier1[j]) served += alloc.x[e];
+      run.total_served += served;
+      queue[j] = std::max(pressure[j] - served, 0.0);
+      backlog += queue[j];
+    }
+    run.queue_total.push_back(backlog);
+    run.max_backlog = std::max(run.max_backlog, backlog);
+    run.trajectory.slots.push_back(std::move(alloc));
+  }
+
+  if (T > 0) {
+    run.mean_backlog =
+        std::accumulate(run.queue_total.begin(), run.queue_total.end(), 0.0) /
+        static_cast<double>(T);
+    run.final_backlog = run.queue_total.back();
+  }
+  run.cost = core::total_cost(inst, run.trajectory);
+  run.solve_seconds = timer.seconds();
+  return run;
+}
+
+}  // namespace sora::baselines

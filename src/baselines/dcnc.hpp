@@ -1,0 +1,62 @@
+// DCNC — dynamic cloud network control via Lyapunov drift-plus-penalty
+// (Feng, Llorca, Tulino, Molisch, "Optimal Dynamic Cloud Network Control",
+// arXiv 1708.09561), adapted to the two-tier allocation model as the
+// queue-based rival of ROA/RFHC.
+//
+// Instead of covering lambda_jt every slot, DCNC keeps a virtual backlog
+// queue Q_j per tier-1 cloud (unserved demand carries over) and each slot
+// solves the max-weight problem
+//
+//   maximize  sum_e (Q_j(e) - V * (a_{i(e),t} + c_e)) * s_e
+//   subject to sum_{e in i} s_e <= C_i,  s_e <= B_e,
+//              sum_{e in j} s_e <= Q_j + lambda_jt,  s_e >= 0,
+//
+// serving on edge e only while the queue pressure Q_j exceeds V times the
+// instantaneous price. V is the drift-plus-penalty knob: V -> 0 drains
+// queues greedily (cost-oblivious), large V tolerates backlog to wait out
+// price peaks. The decision x_e = y_e = s_e is applied, queues update as
+// Q_j <- [Q_j + lambda_jt - served_j]^+, and the realized trajectory is
+// costed with the SAME P1 objective as ROA (allocation + [.]^+
+// reconfiguration), so the cost columns are directly comparable.
+//
+// The structural contrast this baseline exists to expose: DCNC ignores
+// reconfiguration prices in its per-slot rule (the drift argument treats
+// them as bounded perturbations) and meets demand only in the long-run
+// average sense, so against ROA it trades SLA coverage (backlog > 0) for
+// operating cost — the comparison reported by eval::run_rivalry_lab.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace sora::baselines {
+
+struct DcncOptions {
+  // Drift-plus-penalty tradeoff. Prices are normalized to unit mean and the
+  // traces to peak 1, so V ~ 1 balances a full-peak backlog against one
+  // slot's operating spend.
+  double V = 1.0;
+  // Serve accumulated backlog at most this many demand-units per slot and
+  // queue (caps the post-outage catch-up burst); 0 disables the cap.
+  double max_drain_per_slot = 0.0;
+};
+
+struct DcncRun {
+  core::Trajectory trajectory;
+  core::CostBreakdown cost;  // P1 objective of the realized trajectory
+  // Backlog accounting (demand units). queue_total[t] is sum_j Q_j after
+  // slot t's service; unserved is the backlog left at the horizon.
+  std::vector<double> queue_total;
+  double mean_backlog = 0.0;
+  double max_backlog = 0.0;
+  double final_backlog = 0.0;
+  double total_served = 0.0;
+  double total_demand = 0.0;
+  double solve_seconds = 0.0;
+};
+
+DcncRun run_dcnc(const core::Instance& inst, const DcncOptions& options = {});
+
+}  // namespace sora::baselines

@@ -34,7 +34,7 @@ SeedStats summarize(const std::vector<double>& values) {
 
 SeedStats sweep_seeds(
     const Scenario& base, const EvalScale& scale, std::size_t num_seeds,
-    const std::function<double(const core::Instance&)>& metric) {
+    const std::function<SeedOutcome(const core::Instance&)>& metric) {
   SORA_CHECK(num_seeds > 0);
   SORA_TRACE_SPAN("montecarlo/sweep_seeds");
   static obs::Counter* seeds_evaluated = &obs::Registry::global().counter(
@@ -42,7 +42,10 @@ SeedStats sweep_seeds(
   static obs::Counter* seeds_failed = &obs::Registry::global().counter(
       "sora_montecarlo_seed_failures_total",
       "Seed evaluations whose metric threw (excluded from the statistics)");
-  std::vector<double> values(num_seeds, 0.0);
+  static obs::Counter* seeds_degraded = &obs::Registry::global().counter(
+      "sora_montecarlo_seed_degraded_total",
+      "Seed evaluations whose runs reported degraded or fallback slots");
+  std::vector<SeedOutcome> outcomes(num_seeds);
   std::vector<char> failed(num_seeds, 0);
   // Child-stream derivation: sweep point k's seed depends only on
   // (base.seed, k), so parallel execution order cannot change results and
@@ -57,7 +60,9 @@ SeedStats sweep_seeds(
     // kill the whole sweep: record the failure and keep going.
     try {
       const core::Instance inst = build_eval_instance(sc, scale);
-      values[k] = metric(inst);
+      outcomes[k] = metric(inst);
+      if (!outcomes[k].healthy() && obs::metrics_enabled())
+        seeds_degraded->inc();
     } catch (const util::CheckError& e) {
       failed[k] = 1;
       SORA_LOG_ERROR << "montecarlo: seed " << sc.seed << " (sweep point "
@@ -69,13 +74,37 @@ SeedStats sweep_seeds(
   std::vector<double> ok_values;
   ok_values.reserve(num_seeds);
   for (std::size_t k = 0; k < num_seeds; ++k)
-    if (!failed[k]) ok_values.push_back(values[k]);
+    if (!failed[k]) ok_values.push_back(outcomes[k].value);
   SORA_CHECK_MSG(!ok_values.empty(),
                  "sweep_seeds: all " + std::to_string(num_seeds) +
                      " seeds failed");
   SeedStats stats = summarize(ok_values);
   stats.failures = num_seeds - ok_values.size();
+  // Surface the per-seed solver health instead of silently averaging over
+  // degraded slots: the statistics still include those seeds, but the caller
+  // can now see exactly how many were produced off the primary backend.
+  for (std::size_t k = 0; k < num_seeds; ++k) {
+    if (failed[k]) continue;
+    const SeedOutcome& o = outcomes[k];
+    if (o.fallback_slots > 0) ++stats.seeds_with_fallbacks;
+    if (o.degraded_slots > 0) ++stats.seeds_with_degradation;
+    if (o.failed_repairs > 0) ++stats.seeds_with_failed_repairs;
+    stats.total_degraded_slots += o.degraded_slots;
+    stats.total_failed_repairs += o.failed_repairs;
+  }
   return stats;
+}
+
+SeedStats sweep_seeds(
+    const Scenario& base, const EvalScale& scale, std::size_t num_seeds,
+    const std::function<double(const core::Instance&)>& metric) {
+  return sweep_seeds(base, scale, num_seeds,
+                     std::function<SeedOutcome(const core::Instance&)>(
+                         [&metric](const core::Instance& inst) {
+                           SeedOutcome outcome;
+                           outcome.value = metric(inst);
+                           return outcome;
+                         }));
 }
 
 }  // namespace sora::eval

@@ -13,6 +13,22 @@
 
 namespace sora::eval {
 
+/// What one seed's evaluation hands back to the sweep: the metric value plus
+/// the solver-health accounting of the run(s) that produced it (RoaRun /
+/// NTierRoaHealth / ControlRun counters). Health-aware metrics use the
+/// SeedOutcome overload of sweep_seeds so degraded seeds are SURFACED in
+/// SeedStats instead of silently averaged in.
+struct SeedOutcome {
+  double value = 0.0;
+  std::size_t fallback_slots = 0;  // produced by a non-primary backend
+  std::size_t degraded_slots = 0;  // hold + repair slots
+  std::size_t failed_repairs = 0;  // repair LPs that failed on every backend
+
+  bool healthy() const {
+    return fallback_slots == 0 && degraded_slots == 0 && failed_repairs == 0;
+  }
+};
+
 struct SeedStats {
   double mean = 0.0;
   double min = 0.0;
@@ -23,6 +39,23 @@ struct SeedStats {
   // The sweep excludes them from the statistics instead of dying; it throws
   // only when EVERY seed fails.
   std::size_t failures = 0;
+
+  // Per-seed SolveOutcome health, aggregated from the SeedOutcome overload
+  // (all zero for the plain double-metric overload, which cannot see solver
+  // health). A seed counted here still contributes to mean/min/max — the
+  // point is that the caller can SEE how many statistics came from degraded
+  // solves rather than discovering it in a cost regression.
+  std::size_t seeds_with_fallbacks = 0;
+  std::size_t seeds_with_degradation = 0;
+  std::size_t seeds_with_failed_repairs = 0;
+  std::size_t total_degraded_slots = 0;
+  std::size_t total_failed_repairs = 0;
+
+  /// Every contributing seed solved cleanly on the primary backend.
+  bool all_healthy() const {
+    return failures == 0 && seeds_with_fallbacks == 0 &&
+           seeds_with_degradation == 0 && seeds_with_failed_repairs == 0;
+  }
 };
 
 SeedStats summarize(const std::vector<double>& values);
@@ -36,5 +69,12 @@ SeedStats summarize(const std::vector<double>& values);
 SeedStats sweep_seeds(const Scenario& base, const EvalScale& scale,
                       std::size_t num_seeds,
                       const std::function<double(const core::Instance&)>& metric);
+
+/// Health-aware overload: the metric also reports the run's resilience
+/// accounting, aggregated into the seeds_with_* / total_* fields so degraded
+/// seeds are visible in the sweep output.
+SeedStats sweep_seeds(
+    const Scenario& base, const EvalScale& scale, std::size_t num_seeds,
+    const std::function<SeedOutcome(const core::Instance&)>& metric);
 
 }  // namespace sora::eval

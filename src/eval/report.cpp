@@ -1,11 +1,113 @@
 #include "eval/report.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <iostream>
 
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace sora::eval {
+
+double jain_index(const std::vector<double>& values) {
+  double sum = 0.0, sum2 = 0.0;
+  for (const double v : values) {
+    SORA_CHECK_MSG(v >= 0.0, "jain_index: negative value");
+    sum += v;
+    sum2 += v * v;
+  }
+  if (values.empty() || sum2 <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum2);
+}
+
+FairnessReport assess_fairness(
+    const core::Instance& inst,
+    const std::vector<std::vector<double>>& true_demand,
+    const core::Trajectory& traj, const std::vector<char>& greedy) {
+  const std::size_t J = inst.num_tier1();
+  const std::size_t T = traj.horizon();
+  SORA_CHECK_MSG(true_demand.size() >= T, "assess_fairness: demand too short");
+  SORA_CHECK(greedy.empty() || greedy.size() == J);
+  const bool with_z = inst.has_tier1();
+
+  FairnessReport report;
+  std::vector<double> served(J, 0.0), demand(J, 0.0), allocated(J, 0.0);
+  std::vector<double> slot_ratio(J, 0.0);
+  double jain_short_sum = 0.0;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto& alloc = traj.slots[t];
+    for (std::size_t j = 0; j < J; ++j) {
+      SORA_CHECK(true_demand[t].size() == J);
+      const double lambda = true_demand[t][j];
+      double capacity = 0.0, x_sum = 0.0;
+      for (const std::size_t e : inst.edges_of_tier1[j]) {
+        double m = std::min(alloc.x[e], alloc.y[e]);
+        if (with_z) m = std::min(m, alloc.z[e]);
+        capacity += m;
+        x_sum += alloc.x[e];
+      }
+      const double s = std::min(lambda, capacity);
+      served[j] += s;
+      demand[j] += lambda;
+      allocated[j] += x_sum;
+      slot_ratio[j] = lambda > 0.0 ? s / lambda : 1.0;
+    }
+    jain_short_sum += jain_index(slot_ratio);
+  }
+
+  report.site_service.resize(J);
+  report.site_efficiency.resize(J);
+  double total_served = 0.0, total_demand = 0.0, total_allocated = 0.0;
+  double log_sum = 0.0;
+  for (std::size_t j = 0; j < J; ++j) {
+    report.site_service[j] = demand[j] > 0.0 ? served[j] / demand[j] : 1.0;
+    report.site_efficiency[j] =
+        allocated[j] > 0.0 ? served[j] / allocated[j] : 1.0;
+    total_served += served[j];
+    total_demand += demand[j];
+    total_allocated += allocated[j];
+    log_sum += std::log(std::max(report.site_service[j], 1e-6));
+  }
+  report.site_allocation = allocated;
+
+  report.jain_service_long = jain_index(report.site_service);
+  report.jain_service_short =
+      T > 0 ? jain_short_sum / static_cast<double>(T) : 1.0;
+  report.jain_efficiency = jain_index(report.site_efficiency);
+  report.welfare = total_demand > 0.0 ? total_served / total_demand : 1.0;
+  report.log_welfare = J > 0 ? log_sum / static_cast<double>(J) : 0.0;
+  report.mean_efficiency =
+      total_allocated > 0.0 ? total_served / total_allocated : 1.0;
+
+  if (!greedy.empty()) {
+    double greedy_alloc = 0.0, greedy_demand = 0.0;
+    double greedy_service_sum = 0.0, honest_service_sum = 0.0;
+    std::size_t num_greedy = 0;
+    for (std::size_t j = 0; j < J; ++j) {
+      if (greedy[j]) {
+        ++num_greedy;
+        greedy_alloc += allocated[j];
+        greedy_demand += demand[j];
+        greedy_service_sum += report.site_service[j];
+      } else {
+        honest_service_sum += report.site_service[j];
+      }
+    }
+    if (total_allocated > 0.0)
+      report.greedy_allocation_share = greedy_alloc / total_allocated;
+    if (total_demand > 0.0)
+      report.greedy_demand_share = greedy_demand / total_demand;
+    if (num_greedy > 0)
+      report.greedy_service =
+          greedy_service_sum / static_cast<double>(num_greedy);
+    if (num_greedy < J)
+      report.honest_service =
+          honest_service_sum / static_cast<double>(J - num_greedy);
+  }
+  return report;
+}
 
 void print_banner(const std::string& experiment, const EvalScale& scale,
                   std::uint64_t seed) {

@@ -1,15 +1,60 @@
 // Reporting helpers for the bench binaries: consistent run headers, table
-// printing, and CSV persistence under ./results/.
+// printing, CSV persistence under ./results/, and the fairness / welfare
+// metrics of the adversarial scenario lab (per-site utilization, Jain
+// indices, welfare — evaluated against TRUE demand, not what sites report).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "core/types.hpp"
 #include "eval/scenarios.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace sora::eval {
+
+/// Jain's fairness index of nonnegative values:
+/// (sum v)^2 / (n * sum v^2) in (0, 1]; 1 = perfectly even, 1/n = one value
+/// holds everything. Empty or all-zero input returns 1 (vacuously fair).
+double jain_index(const std::vector<double>& values);
+
+// Per-site fairness / welfare assessment of a trajectory against the true
+// workload. "Service" is the fraction of a site's true demand its SLA edges
+// could serve (1 when the site has no demand); "efficiency" is served work
+// per allocated tier-2 unit. Strategic misreporting shows up as: greedy
+// sites' allocation share outgrowing their demand share (hoarding), mean
+// efficiency dropping (paid-for capacity idling), and — once capacity or a
+// queue-based controller gets involved — the service Jain indices falling.
+struct FairnessReport {
+  // Whole-horizon per-site aggregates.
+  std::vector<double> site_service;     // served / true demand, per site
+  std::vector<double> site_allocation;  // sum_t sum_{e in j} x_e, per site
+  std::vector<double> site_efficiency;  // served / allocated, per site
+
+  double jain_service_long = 1.0;   // Jain over whole-horizon service ratios
+  double jain_service_short = 1.0;  // mean per-slot Jain of service ratios
+  double jain_efficiency = 1.0;     // Jain over per-site efficiency
+
+  double welfare = 0.0;      // utilitarian: total served / total true demand
+  double log_welfare = 0.0;  // proportional fairness: mean log service ratio
+                             // (ratios floored at 1e-6 to keep it finite)
+  double mean_efficiency = 0.0;  // total served / total allocated x
+
+  // Split by the greedy mask (zeros when the mask is empty).
+  double greedy_allocation_share = 0.0;  // allocation captured by greedy sites
+  double greedy_demand_share = 0.0;      // their share of TRUE demand
+  double greedy_service = 0.0;           // mean service ratio, greedy sites
+  double honest_service = 0.0;           // mean service ratio, honest sites
+};
+
+/// Assess `traj` (planned on whatever the controller was told) against the
+/// true per-slot demand. `greedy` marks misreporting sites (may be empty).
+/// true_demand must be [t][j] with t >= traj.horizon().
+FairnessReport assess_fairness(const core::Instance& inst,
+                               const std::vector<std::vector<double>>& true_demand,
+                               const core::Trajectory& traj,
+                               const std::vector<char>& greedy = {});
 
 /// Print the standard run banner: binary, scale, seed — everything needed
 /// to reproduce the numbers below it.

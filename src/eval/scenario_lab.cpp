@@ -1,0 +1,253 @@
+#include "eval/scenario_lab.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "core/cost.hpp"
+#include "core/roa.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace sora::eval {
+namespace {
+
+// Run one controller on `inst` and assess fairness against `true_demand`.
+PolicyOutcome run_policy(const std::string& policy,
+                         const core::Instance& inst,
+                         const std::vector<std::vector<double>>& true_demand,
+                         const std::vector<char>& greedy,
+                         const LabPolicies& policies) {
+  PolicyOutcome out;
+  out.policy = policy;
+  core::Trajectory traj;
+  if (policy == "roa") {
+    const core::RoaRun run = core::run_roa(inst);
+    traj = run.trajectory;
+    out.fallback_slots = run.fallback_slots;
+    out.degraded_slots = run.degraded_slots;
+  } else if (policy == "rfhc") {
+    const core::ControlRun run = core::run_rfhc(inst, policies.control);
+    traj = run.trajectory;
+    out.failed_repairs = run.failed_repairs;
+  } else if (policy == "dcnc") {
+    const baselines::DcncRun run =
+        baselines::run_dcnc(inst, policies.dcnc_options);
+    traj = run.trajectory;
+    out.mean_backlog = run.mean_backlog;
+    out.final_backlog = run.final_backlog;
+  } else {
+    SORA_CHECK_MSG(false, "scenario_lab: unknown policy " + policy);
+  }
+  out.cost = core::total_cost(inst, traj);
+  out.fairness = assess_fairness(inst, true_demand, traj, greedy);
+  return out;
+}
+
+std::vector<std::string> selected(const LabPolicies& policies) {
+  std::vector<std::string> names;
+  if (policies.roa) names.push_back("roa");
+  if (policies.rfhc) names.push_back("rfhc");
+  if (policies.dcnc) names.push_back("dcnc");
+  return names;
+}
+
+void put_policy_metrics(std::map<std::string, double>& m,
+                        const std::string& prefix, const PolicyOutcome& p) {
+  m[prefix + ".cost_total"] = p.cost.total();
+  m[prefix + ".cost_reconfig"] = p.cost.reconfiguration;
+  m[prefix + ".welfare"] = p.fairness.welfare;
+  m[prefix + ".jain_service_long"] = p.fairness.jain_service_long;
+  m[prefix + ".jain_service_short"] = p.fairness.jain_service_short;
+  m[prefix + ".jain_efficiency"] = p.fairness.jain_efficiency;
+  m[prefix + ".mean_efficiency"] = p.fairness.mean_efficiency;
+  m[prefix + ".greedy_allocation_share"] = p.fairness.greedy_allocation_share;
+  m[prefix + ".greedy_demand_share"] = p.fairness.greedy_demand_share;
+  m[prefix + ".greedy_service"] = p.fairness.greedy_service;
+  m[prefix + ".honest_service"] = p.fairness.honest_service;
+  m[prefix + ".degraded_slots"] = static_cast<double>(p.degraded_slots);
+  m[prefix + ".mean_backlog"] = p.mean_backlog;
+}
+
+void put_seed_stats(std::map<std::string, double>& m,
+                    const std::string& prefix, const SeedStats& s) {
+  m[prefix + ".mean"] = s.mean;
+  m[prefix + ".min"] = s.min;
+  m[prefix + ".max"] = s.max;
+  m[prefix + ".samples"] = static_cast<double>(s.samples);
+  m[prefix + ".failures"] = static_cast<double>(s.failures);
+  m[prefix + ".seeds_with_fallbacks"] =
+      static_cast<double>(s.seeds_with_fallbacks);
+  m[prefix + ".seeds_with_degradation"] =
+      static_cast<double>(s.seeds_with_degradation);
+  m[prefix + ".total_degraded_slots"] =
+      static_cast<double>(s.total_degraded_slots);
+}
+
+}  // namespace
+
+MisreportLabResult run_misreport_lab(const Scenario& scenario,
+                                     const EvalScale& scale,
+                                     const MisreportSpec& spec,
+                                     const LabPolicies& policies) {
+  MisreportLabResult result;
+  result.spec = spec;
+
+  const AdversarialInstance adv =
+      build_misreport_instance(scenario, scale, spec);
+  result.num_sites = adv.reported.num_tier1();
+  result.num_greedy = adv.num_greedy();
+
+  // Honest reference: the same instance with truthful reports. Same greedy
+  // mask, so the greedy/honest splits are comparable across the two runs.
+  core::Instance honest = adv.reported;
+  honest.demand = adv.true_demand;
+
+  for (const std::string& policy : selected(policies)) {
+    result.misreported.push_back(run_policy(policy, adv.reported,
+                                            adv.true_demand, adv.greedy,
+                                            policies));
+    result.honest.push_back(
+        run_policy(policy, honest, adv.true_demand, adv.greedy, policies));
+  }
+  return result;
+}
+
+OutageLabResult run_outage_lab(const Scenario& scenario,
+                               const EvalScale& scale,
+                               const testing::RegionalOutagePlan& plan,
+                               double bound) {
+  OutageLabResult result;
+  result.bound = bound;
+
+  const core::Instance inst = build_eval_instance(scenario, scale);
+  const core::RoaRun clean = core::run_roa(inst);
+  result.clean_cost = clean.cost.total();
+
+  testing::FaultInjector injector(inst, plan);
+  result.events = injector.outage_events().size();
+  result.outage_slots = injector.outage_slot_count();
+  for (std::size_t t = 0; t < inst.horizon; ++t) {
+    const std::vector<char> down = injector.clouds_down(t);
+    const std::size_t clouds =
+        static_cast<std::size_t>(std::count(down.begin(), down.end(), 1));
+    result.max_clouds_down = std::max(result.max_clouds_down, clouds);
+    result.max_dark_sites =
+        std::max(result.max_dark_sites, injector.dark_sites(t).size());
+  }
+
+  const core::RoaRun faulted = core::run_roa(inst);
+  result.faulted_cost = faulted.cost.total();
+  result.degraded_slots = faulted.degraded_slots;
+  result.fallback_slots = faulted.fallback_slots;
+  result.cost_ratio =
+      result.clean_cost > 0.0 ? result.faulted_cost / result.clean_cost : 1.0;
+  result.bound_ok = result.cost_ratio <= bound;
+  if (!result.bound_ok)
+    SORA_LOG_WARN << "outage lab: degraded-cost ratio " << result.cost_ratio
+                  << " exceeds the " << bound << "x bound";
+  return result;
+}
+
+RivalryResult run_rivalry_lab(const Scenario& scenario, const EvalScale& scale,
+                              std::size_t num_seeds,
+                              const LabPolicies& policies) {
+  RivalryResult result;
+  result.num_seeds = num_seeds;
+  using Metric = std::function<SeedOutcome(const core::Instance&)>;
+
+  if (policies.roa) {
+    result.roa_cost = sweep_seeds(
+        scenario, scale, num_seeds, Metric([](const core::Instance& inst) {
+          const core::RoaRun run = core::run_roa(inst);
+          SeedOutcome o;
+          o.value = run.cost.total();
+          o.fallback_slots = run.fallback_slots;
+          o.degraded_slots = run.degraded_slots;
+          return o;
+        }));
+  }
+  if (policies.rfhc) {
+    const core::ControlOptions control = policies.control;
+    result.rfhc_cost = sweep_seeds(
+        scenario, scale, num_seeds,
+        Metric([control](const core::Instance& inst) {
+          const core::ControlRun run = core::run_rfhc(inst, control);
+          SeedOutcome o;
+          o.value = run.cost.total();
+          o.failed_repairs = run.failed_repairs;
+          return o;
+        }));
+  }
+  if (policies.dcnc) {
+    const baselines::DcncOptions dcnc = policies.dcnc_options;
+    result.dcnc_cost = sweep_seeds(
+        scenario, scale, num_seeds, Metric([dcnc](const core::Instance& inst) {
+          SeedOutcome o;
+          o.value = baselines::run_dcnc(inst, dcnc).cost.total();
+          return o;
+        }));
+    result.dcnc_backlog = sweep_seeds(
+        scenario, scale, num_seeds, Metric([dcnc](const core::Instance& inst) {
+          SeedOutcome o;
+          o.value = baselines::run_dcnc(inst, dcnc).mean_backlog;
+          return o;
+        }));
+  }
+  return result;
+}
+
+std::map<std::string, double> to_metrics(const MisreportLabResult& result) {
+  std::map<std::string, double> m;
+  m["misreport.num_sites"] = static_cast<double>(result.num_sites);
+  m["misreport.num_greedy"] = static_cast<double>(result.num_greedy);
+  m["misreport.inflation"] = result.spec.inflation;
+  for (const PolicyOutcome& p : result.misreported)
+    put_policy_metrics(m, "misreport." + p.policy, p);
+  for (const PolicyOutcome& p : result.honest)
+    put_policy_metrics(m, "honest." + p.policy, p);
+  return m;
+}
+
+std::map<std::string, double> to_metrics(const OutageLabResult& result) {
+  std::map<std::string, double> m;
+  m["outage.events"] = static_cast<double>(result.events);
+  m["outage.outage_slots"] = static_cast<double>(result.outage_slots);
+  m["outage.max_clouds_down"] = static_cast<double>(result.max_clouds_down);
+  m["outage.max_dark_sites"] = static_cast<double>(result.max_dark_sites);
+  m["outage.clean_cost"] = result.clean_cost;
+  m["outage.faulted_cost"] = result.faulted_cost;
+  m["outage.cost_ratio"] = result.cost_ratio;
+  m["outage.degraded_slots"] = static_cast<double>(result.degraded_slots);
+  m["outage.fallback_slots"] = static_cast<double>(result.fallback_slots);
+  m["outage.bound_ok"] = result.bound_ok ? 1.0 : 0.0;
+  return m;
+}
+
+std::map<std::string, double> to_metrics(const RivalryResult& result) {
+  std::map<std::string, double> m;
+  m["rivalry.num_seeds"] = static_cast<double>(result.num_seeds);
+  put_seed_stats(m, "rivalry.roa_cost", result.roa_cost);
+  put_seed_stats(m, "rivalry.rfhc_cost", result.rfhc_cost);
+  put_seed_stats(m, "rivalry.dcnc_cost", result.dcnc_cost);
+  put_seed_stats(m, "rivalry.dcnc_backlog", result.dcnc_backlog);
+  return m;
+}
+
+void write_metrics_json(const std::map<std::string, double>& metrics,
+                        const std::string& path) {
+  std::ofstream out(path);
+  SORA_CHECK_MSG(out.good(), "write_metrics_json: cannot open " + path);
+  out << "{\n";
+  bool first = true;
+  char buffer[64];
+  for (const auto& [name, value] : metrics) {
+    if (!first) out << ",\n";
+    first = false;
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    out << "  \"" << name << "\": " << buffer;
+  }
+  out << "\n}\n";
+}
+
+}  // namespace sora::eval

@@ -1,0 +1,116 @@
+// Adversarial scenario lab: the three regimes of the ROADMAP item, each one
+// driving existing controllers through an adversarial input and reporting
+// comparable metrics.
+//
+//   * run_misreport_lab — strategic demand misreporting: ROA / RFHC / DCNC
+//     plan on the REPORTED (inflated) instance; fairness, welfare and
+//     hoarding metrics (eval/report.hpp) are evaluated against TRUE demand,
+//     with an honest-reporting reference run beside it.
+//   * run_outage_lab — correlated regional outages: a topology-driven
+//     testing::FaultInjector blacks out whole SLA sets for multi-slot
+//     windows; the lab reports the degraded-cost ratio against the
+//     fault-free run and checks the resilience chain's 1.5x bound.
+//   * run_rivalry_lab — the DCNC rival baseline: Monte Carlo sweep
+//     (eval/montecarlo.hpp, the health-aware overload) of ROA vs RFHC vs
+//     DCNC cost and DCNC backlog on independent seeds of a scenario,
+//     typically the bursty WorldCup-like trace.
+//
+// Every result flattens through to_metrics() into a {name -> value} map and
+// write_metrics_json() for the CI golden-metrics regression diff
+// (sora_golden_check).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/dcnc.hpp"
+#include "core/predictive.hpp"
+#include "eval/montecarlo.hpp"
+#include "eval/report.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace sora::eval {
+
+/// Which controllers a lab runs and with what knobs.
+struct LabPolicies {
+  bool roa = true;
+  bool rfhc = true;
+  bool dcnc = true;
+  core::ControlOptions control;           // RFHC window / prediction noise
+  baselines::DcncOptions dcnc_options;    // drift-plus-penalty V
+};
+
+/// One controller's outcome on one (possibly adversarial) instance.
+struct PolicyOutcome {
+  std::string policy;
+  core::CostBreakdown cost;
+  FairnessReport fairness;  // against TRUE demand
+  // Resilience accounting where the controller exposes it.
+  std::size_t fallback_slots = 0;
+  std::size_t degraded_slots = 0;
+  std::size_t failed_repairs = 0;
+  // Backlog accounting (DCNC only; zero for covering controllers).
+  double mean_backlog = 0.0;
+  double final_backlog = 0.0;
+};
+
+struct MisreportLabResult {
+  MisreportSpec spec;
+  std::size_t num_sites = 0;
+  std::size_t num_greedy = 0;
+  std::vector<PolicyOutcome> misreported;  // planned on inflated demand
+  std::vector<PolicyOutcome> honest;       // reference: truthful reports
+};
+
+MisreportLabResult run_misreport_lab(const Scenario& scenario,
+                                     const EvalScale& scale,
+                                     const MisreportSpec& spec,
+                                     const LabPolicies& policies = {});
+
+struct OutageLabResult {
+  std::size_t events = 0;          // scheduled outage events
+  std::size_t outage_slots = 0;    // distinct slots under an outage
+  std::size_t max_clouds_down = 0; // worst simultaneous tier-2 blackout
+  std::size_t max_dark_sites = 0;  // worst count of fully-dark tier-1 sites
+  double clean_cost = 0.0;
+  double faulted_cost = 0.0;
+  double cost_ratio = 1.0;  // faulted / clean
+  std::size_t degraded_slots = 0;
+  std::size_t fallback_slots = 0;
+  double bound = 1.5;   // the resilience chain's degraded-cost bound
+  bool bound_ok = true; // cost_ratio <= bound
+};
+
+/// Run ROA clean and under the correlated-outage schedule on the same
+/// instance; report the degraded-cost ratio against `bound`.
+OutageLabResult run_outage_lab(const Scenario& scenario,
+                               const EvalScale& scale,
+                               const testing::RegionalOutagePlan& plan,
+                               double bound = 1.5);
+
+struct RivalryResult {
+  std::size_t num_seeds = 0;
+  SeedStats roa_cost;       // absent policies leave their stats zeroed
+  SeedStats rfhc_cost;
+  SeedStats dcnc_cost;
+  SeedStats dcnc_backlog;   // mean backlog per seed (demand units)
+};
+
+/// Sweep ROA / RFHC / DCNC over independent seeds of `scenario` via the
+/// health-aware sweep_seeds, so degraded seeds surface in the stats.
+RivalryResult run_rivalry_lab(const Scenario& scenario, const EvalScale& scale,
+                              std::size_t num_seeds,
+                              const LabPolicies& policies = {});
+
+/// Flatten a result into {metric name -> value} for table printing and the
+/// golden-metrics diff. Keys are stable across runs and releases.
+std::map<std::string, double> to_metrics(const MisreportLabResult& result);
+std::map<std::string, double> to_metrics(const OutageLabResult& result);
+std::map<std::string, double> to_metrics(const RivalryResult& result);
+
+/// Write a flat metrics map as a sorted one-object JSON document.
+void write_metrics_json(const std::map<std::string, double>& metrics,
+                        const std::string& path);
+
+}  // namespace sora::eval

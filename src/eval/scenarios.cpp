@@ -1,5 +1,8 @@
 #include "eval/scenarios.hpp"
 
+#include <algorithm>
+
+#include "util/check.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +47,53 @@ core::Instance build_eval_instance(const Scenario& scenario,
   cfg.reconfig_weight = scenario.reconfig_weight;
   cfg.seed = scenario.seed + 17;
   return cloudnet::build_instance(cfg, trace);
+}
+
+std::size_t AdversarialInstance::num_greedy() const {
+  std::size_t count = 0;
+  for (const char g : greedy) count += g ? 1 : 0;
+  return count;
+}
+
+AdversarialInstance build_misreport_instance(const Scenario& scenario,
+                                             const EvalScale& scale,
+                                             const MisreportSpec& spec) {
+  SORA_CHECK(spec.greedy_fraction >= 0.0 && spec.greedy_fraction <= 1.0);
+  SORA_CHECK(spec.inflation >= 1.0);
+  AdversarialInstance adv;
+  adv.reported = build_eval_instance(scenario, scale);
+  adv.true_demand = adv.reported.demand;
+
+  const std::size_t J = adv.reported.num_tier1();
+  adv.greedy.assign(J, 0);
+  const std::size_t num_greedy = static_cast<std::size_t>(
+      spec.greedy_fraction * static_cast<double>(J) + 0.5);
+
+  util::Rng rng(spec.seed);
+  const std::vector<std::size_t> pick = rng.permutation(J);
+  for (std::size_t k = 0; k < num_greedy; ++k) adv.greedy[pick[k]] = 1;
+
+  // The instance was provisioned with the default capacity margin (peak
+  // consumes 1/margin of capacity), so a reported lambda_jt up to
+  // margin * peak_j keeps the even-split allocation feasible for EVERY site
+  // simultaneously — inflation beyond that is clamped instead of producing
+  // an unsolvable model (greedy tenants do not get to crash the allocator).
+  const double margin = cloudnet::InstanceConfig{}.capacity_margin;
+  for (std::size_t j = 0; j < J; ++j) {
+    if (!adv.greedy[j]) continue;
+    double peak = 0.0;
+    for (std::size_t t = 0; t < adv.reported.horizon; ++t)
+      peak = std::max(peak, adv.true_demand[t][j]);
+    const double factor =
+        spec.inflation * (1.0 + spec.jitter * (2.0 * rng.uniform() - 1.0));
+    const double cap = margin * peak;
+    for (std::size_t t = 0; t < adv.reported.horizon; ++t) {
+      const double truth = adv.true_demand[t][j];
+      adv.reported.demand[t][j] =
+          std::min(std::max(factor, 1.0) * truth, std::max(cap, truth));
+    }
+  }
+  return adv;
 }
 
 solver::LpSolveOptions offline_lp_options(const EvalScale& scale) {

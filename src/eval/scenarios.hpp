@@ -46,6 +46,40 @@ struct Scenario {
 core::Instance build_eval_instance(const Scenario& scenario,
                                    const EvalScale& scale);
 
+// ---------------------------------------------------------------------------
+// Adversarial scenario lab: strategic demand misreporting.
+//
+// A fraction of tier-1 sites is "greedy": they report inflated demand
+// lambda_jt to hoard tier-2 capacity from the shared pool (the CS525
+// strategy-proofness setting; Karma and Ginseng are the mechanisms this
+// measures against). The controller plans on the REPORTED instance; every
+// fairness/welfare metric is evaluated against the TRUE demand.
+
+struct MisreportSpec {
+  double greedy_fraction = 0.25;  // fraction of tier-1 sites that misreport
+  double inflation = 1.8;         // reported lambda = inflation * true lambda
+  double jitter = 0.15;           // per-site inflation jitter (+- fraction)
+  std::uint64_t seed = 7;         // greedy-site pick + jitter stream
+};
+
+struct AdversarialInstance {
+  core::Instance reported;  // what the controller plans and solves on
+  std::vector<std::vector<double>> true_demand;  // [t][j], the real workload
+  std::vector<char> greedy;                      // [j] 1 = misreporting site
+
+  std::size_t num_greedy() const;
+};
+
+/// Build the true instance for (scenario, scale), then inflate the demand
+/// rows of the greedy sites. Reported demand is clamped per site at
+/// capacity_margin * the site's true peak, which keeps the reported instance
+/// feasible under the paper's provisioning rule (the even-split allocation
+/// stays valid), so misreporting shows up as hoarded allocation and wasted
+/// spend rather than an infeasible model.
+AdversarialInstance build_misreport_instance(const Scenario& scenario,
+                                             const EvalScale& scale,
+                                             const MisreportSpec& spec);
+
 /// LP options for the multi-slot offline/window solves at this scale
 /// (simplex for tiny models, PDHG for everything else).
 solver::LpSolveOptions offline_lp_options(const EvalScale& scale);

@@ -6,7 +6,7 @@
 //   sora_cli --algorithm all --trace my_demand.csv --out run.csv
 //
 // Flags (all optional):
-//   --algorithm   roa|greedy|offline|lcpm|fhc|rhc|rfhc|rrhc|afhc|all  [roa]
+//   --algorithm   roa|greedy|offline|lcpm|dcnc|fhc|rhc|rfhc|rrhc|afhc|all [roa]
 //   --workload    wikipedia|worldcup      (ignored when --trace given)
 //   --trace       CSV file with one demand column (peak normalized to 1)
 //   --hours       horizon in slots                                [120]
@@ -28,11 +28,23 @@
 //                         exercises the resilience chain (docs/ROBUSTNESS.md)
 //   --inject-seed S       fault-schedule seed                     [--seed]
 //   --inject-attempts N   chain stages forced to fail per faulted slot [1]
+//
+// Adversarial scenario lab (docs/TESTING.md "Scenario suite"):
+//   --scenario misreport|outage|rivals   run a lab instead of one algorithm
+//   --greedy-frac F   misreport: fraction of greedy tier-1 sites   [0.25]
+//   --inflate F       misreport: reported demand inflation factor  [1.8]
+//   --dcnc-v V        DCNC drift-plus-penalty tradeoff             [1.0]
+//   --outage-rate R   outage: events per region per 100 slots      [3.0]
+//   --outage-duration D  outage: mean event length in slots        [3.0]
+//   --seeds N         rivals: Monte Carlo sweep width              [5]
+//   --scenario-out FILE  write the lab metrics as flat JSON (the
+//                        golden-metrics diff input of sora_golden_check)
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "baselines/dcnc.hpp"
 #include "baselines/lcp_m.hpp"
 #include "baselines/offline.hpp"
 #include "baselines/oneshot.hpp"
@@ -42,6 +54,7 @@
 #include "core/predictive.hpp"
 #include "core/roa.hpp"
 #include "eval/replay.hpp"
+#include "eval/scenario_lab.hpp"
 #include "obs/obs.hpp"
 #include "testing/fault_injection.hpp"
 #include "util/csv.hpp"
@@ -123,6 +136,13 @@ NamedRun run_algorithm(const std::string& name, const core::Instance& inst,
     out.trajectory = baselines::run_offline_optimum(inst).trajectory;
   } else if (name == "lcpm") {
     out.trajectory = baselines::run_lcp_m(inst).trajectory;
+  } else if (name == "dcnc") {
+    baselines::DcncOptions dcnc;
+    dcnc.V = opts.get_double("dcnc-v", 1.0);
+    const baselines::DcncRun run = baselines::run_dcnc(inst, dcnc);
+    out.trajectory = run.trajectory;
+    std::printf("dcnc backlog: mean %.3f max %.3f final %.3f (demand units)\n",
+                run.mean_backlog, run.max_backlog, run.final_backlog);
   } else if (name == "fhc") {
     take_control(core::run_fhc(inst, control));
   } else if (name == "rhc") {
@@ -142,6 +162,114 @@ NamedRun run_algorithm(const std::string& name, const core::Instance& inst,
   return out;
 }
 
+void print_policy_rows(const std::vector<eval::PolicyOutcome>& rows) {
+  std::printf("%-6s %12s %9s %9s %9s %9s %9s %9s\n", "policy", "cost",
+              "welfare", "jainLong", "jainShrt", "effic", "grdAlloc",
+              "backlog");
+  for (const auto& p : rows)
+    std::printf("%-6s %12.2f %9.4f %9.4f %9.4f %9.4f %9.4f %9.3f\n",
+                p.policy.c_str(), p.cost.total(), p.fairness.welfare,
+                p.fairness.jain_service_long, p.fairness.jain_service_short,
+                p.fairness.mean_efficiency,
+                p.fairness.greedy_allocation_share, p.mean_backlog);
+}
+
+void print_seed_stats(const char* name, const eval::SeedStats& s) {
+  std::printf("%-14s %12.2f %12.2f %12.2f %5zu %5zu %6zu %6zu\n", name,
+              s.mean, s.min, s.max, s.samples, s.failures,
+              s.seeds_with_fallbacks, s.seeds_with_degradation);
+}
+
+// The adversarial scenario lab: --scenario misreport|outage|rivals. Builds
+// the eval Scenario from the shared topology/workload flags, runs the lab,
+// prints a comparison table, and (with --scenario-out) writes the flat
+// metrics JSON consumed by sora_golden_check in CI.
+int run_scenario_mode(const std::string& mode, const util::Options& opts) {
+  eval::Scenario scenario;
+  // The rivalry lab defaults to the bursty WorldCup-like trace — that is
+  // the regime where the DCNC-vs-ROA tradeoff is interesting.
+  const std::string workload = opts.get_string(
+      "workload", mode == "rivals" ? "worldcup" : "wikipedia");
+  scenario.workload = workload == "worldcup" ? eval::Workload::kWorldCup
+                                             : eval::Workload::kWikipedia;
+  scenario.sla_k = static_cast<std::size_t>(opts.get_int("k", 1));
+  scenario.reconfig_weight = opts.get_double("b", 1000.0);
+  scenario.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+
+  eval::EvalScale scale;
+  scale.num_tier2 = static_cast<std::size_t>(opts.get_int("tier2", 6));
+  scale.num_tier1 = static_cast<std::size_t>(opts.get_int("tier1", 12));
+  const std::size_t hours =
+      static_cast<std::size_t>(opts.get_int("hours", 120));
+  scale.horizon_wikipedia = scale.horizon_worldcup = hours;
+
+  eval::LabPolicies policies;
+  policies.dcnc_options.V = opts.get_double("dcnc-v", 1.0);
+  policies.control.window = static_cast<std::size_t>(opts.get_int("window", 4));
+
+  std::map<std::string, double> metrics;
+  if (mode == "misreport") {
+    eval::MisreportSpec spec;
+    spec.greedy_fraction = opts.get_double("greedy-frac", 0.25);
+    spec.inflation = opts.get_double("inflate", 1.8);
+    spec.seed = scenario.seed + 101;
+    const auto result =
+        eval::run_misreport_lab(scenario, scale, spec, policies);
+    std::printf("misreport lab: %zu/%zu greedy sites, inflation %.2f\n\n",
+                result.num_greedy, result.num_sites, spec.inflation);
+    std::printf("-- planned on MISREPORTED demand --\n");
+    print_policy_rows(result.misreported);
+    std::printf("\n-- honest-reporting reference --\n");
+    print_policy_rows(result.honest);
+    metrics = eval::to_metrics(result);
+  } else if (mode == "outage") {
+    testing::RegionalOutagePlan plan;
+    plan.events_per_100_slots = opts.get_double("outage-rate", 3.0);
+    plan.mean_duration = opts.get_double("outage-duration", 3.0);
+    plan.seed = scenario.seed + 31;
+    plan.max_slots = hours;
+    plan.forced_attempts =
+        static_cast<std::size_t>(opts.get_int("inject-attempts", 6));
+    const auto result = eval::run_outage_lab(scenario, scale, plan);
+    std::printf(
+        "outage lab: %zu events over %zu slots (max %zu clouds down, "
+        "max %zu dark sites)\n"
+        "  clean cost    %12.2f\n"
+        "  faulted cost  %12.2f   (ratio %.3f, bound %.1fx: %s)\n"
+        "  degraded %zu slots, fallbacks %zu\n",
+        result.events, result.outage_slots, result.max_clouds_down,
+        result.max_dark_sites, result.clean_cost, result.faulted_cost,
+        result.cost_ratio, result.bound, result.bound_ok ? "ok" : "VIOLATED",
+        result.degraded_slots, result.fallback_slots);
+    metrics = eval::to_metrics(result);
+  } else if (mode == "rivals") {
+    const std::size_t seeds =
+        static_cast<std::size_t>(opts.get_int("seeds", 5));
+    const auto result =
+        eval::run_rivalry_lab(scenario, scale, seeds, policies);
+    std::printf("rivalry lab: %zu seeds, %s trace, V=%.2f\n\n", seeds,
+                workload.c_str(), policies.dcnc_options.V);
+    std::printf("%-14s %12s %12s %12s %5s %5s %6s %6s\n", "metric", "mean",
+                "min", "max", "n", "fail", "fbk", "degr");
+    print_seed_stats("roa_cost", result.roa_cost);
+    print_seed_stats("rfhc_cost", result.rfhc_cost);
+    print_seed_stats("dcnc_cost", result.dcnc_cost);
+    print_seed_stats("dcnc_backlog", result.dcnc_backlog);
+    metrics = eval::to_metrics(result);
+  } else {
+    std::cerr << "unknown scenario: " << mode
+              << " (expected misreport|outage|rivals)\n";
+    return 2;
+  }
+
+  const std::string out = opts.get_string("scenario-out", "");
+  if (!out.empty()) {
+    eval::write_metrics_json(metrics, out);
+    std::cout << "\nscenario metrics written to " << out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,7 +278,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout <<
           "usage: sora_cli [flags]\n"
-          "  --algorithm roa|greedy|offline|lcpm|fhc|rhc|rfhc|rrhc|afhc|all\n"
+          "  --algorithm roa|greedy|offline|lcpm|dcnc|fhc|rhc|rfhc|rrhc|afhc"
+          "|all\n"
           "  --workload wikipedia|worldcup   --trace FILE.csv\n"
           "  --hours N --tier2 N --tier1 N --k K --b WEIGHT --eps EPS\n"
           "  --window W --error PCT --model-tier1 --seed S\n"
@@ -163,7 +292,15 @@ int main(int argc, char** argv) {
           "  --trace-out FILE      Chrome trace-event JSON (Perfetto)\n"
           "  --inject-faults RATE  force solver faults on ~RATE of slots\n"
           "  --inject-seed S       fault-schedule seed (default --seed)\n"
-          "  --inject-attempts N   chain stages failed per faulted slot\n";
+          "  --inject-attempts N   chain stages failed per faulted slot\n"
+          "scenario lab (replaces the algorithm run):\n"
+          "  --scenario misreport|outage|rivals\n"
+          "  --greedy-frac F --inflate F     misreport knobs   [0.25 / 1.8]\n"
+          "  --dcnc-v V                      DCNC tradeoff     [1.0]\n"
+          "  --outage-rate R --outage-duration D  outage knobs [3.0 / 3.0]\n"
+          "  --seeds N                       rivals sweep width [5]\n"
+          "  --scenario-out FILE             flat metrics JSON for the\n"
+          "                                  golden diff (sora_golden_check)\n";
       return 0;
     }
   }
@@ -172,7 +309,11 @@ int main(int argc, char** argv) {
       {"algorithm", "workload", "trace", "hours", "tier2", "tier1", "k", "b",
        "eps", "window", "error", "model-tier1", "seed", "simulate", "certify",
        "out", "metrics-out", "metrics-format", "trace-out", "inject-faults",
-       "inject-seed", "inject-attempts"});
+       "inject-seed", "inject-attempts", "scenario", "greedy-frac", "inflate",
+       "dcnc-v", "outage-rate", "outage-duration", "seeds", "scenario-out"});
+
+  const std::string scenario_mode = opts.get_string("scenario", "");
+  if (!scenario_mode.empty()) return run_scenario_mode(scenario_mode, opts);
 
   const std::string metrics_out = opts.get_string("metrics-out", "");
   const std::string trace_out = opts.get_string("trace-out", "");
@@ -215,7 +356,8 @@ int main(int argc, char** argv) {
   const std::string algorithm = opts.get_string("algorithm", "roa");
   std::vector<std::string> names;
   if (algorithm == "all") {
-    names = {"greedy", "roa", "lcpm", "fhc", "rhc", "rfhc", "rrhc", "offline"};
+    names = {"greedy", "roa",  "lcpm", "dcnc",    "fhc",
+             "rhc",    "rfhc", "rrhc", "offline"};
   } else {
     names = {algorithm};
   }

@@ -1,0 +1,99 @@
+// sora_golden_check — tolerance-based diff of two flat metric JSON files
+// (one object, string keys, numeric values), as written by
+// eval::write_metrics_json / sora_cli --scenario-out. Used by the CI
+// scenario-regression job to compare a fresh run against the golden files
+// under tests/golden/.
+//
+//   sora_golden_check --golden tests/golden/scenario_misreport.json
+//                     --got /tmp/misreport.json [--rtol 0.05] [--atol 1e-9]
+//
+// A value passes when |got - golden| <= atol + rtol * |golden|. Keys present
+// on only one side are errors (a metric silently disappearing is exactly the
+// regression this tool exists to catch). Exit 0 on match, 1 on any
+// difference, 2 on usage/IO errors.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+bool load_metrics(const std::string& path, std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "sora_golden_check: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const sora::obs::json::Value doc = sora::obs::json::parse(text.str());
+    for (const auto& [key, value] : doc.as_object())
+      out[key] = value.as_number();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sora_golden_check: %s: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = sora::util::Options::parse(
+      argc, argv, {"golden", "got", "rtol", "atol"});
+  const std::string golden_path = opts.get_string("golden", "");
+  const std::string got_path = opts.get_string("got", "");
+  if (golden_path.empty() || got_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: sora_golden_check --golden FILE --got FILE "
+                 "[--rtol R] [--atol A]\n");
+    return 2;
+  }
+  const double rtol = opts.get_double("rtol", 0.05);
+  const double atol = opts.get_double("atol", 1e-9);
+
+  std::map<std::string, double> golden, got;
+  if (!load_metrics(golden_path, golden) || !load_metrics(got_path, got))
+    return 2;
+
+  std::size_t failures = 0;
+  for (const auto& [key, want] : golden) {
+    const auto it = got.find(key);
+    if (it == got.end()) {
+      std::printf("MISSING  %-40s golden %.6g, absent in %s\n", key.c_str(),
+                  want, got_path.c_str());
+      ++failures;
+      continue;
+    }
+    const double have = it->second;
+    const double budget = atol + rtol * std::abs(want);
+    if (std::isnan(have) || std::abs(have - want) > budget) {
+      std::printf("DIFF     %-40s golden %.6g, got %.6g (|d| %.3g > %.3g)\n",
+                  key.c_str(), want, have, std::abs(have - want), budget);
+      ++failures;
+    }
+  }
+  for (const auto& [key, have] : got) {
+    if (golden.count(key)) continue;
+    std::printf("EXTRA    %-40s got %.6g, absent in golden\n", key.c_str(),
+                have);
+    ++failures;
+  }
+
+  if (failures > 0) {
+    std::printf("sora_golden_check: %zu difference(s) vs %s (rtol %.3g, "
+                "atol %.3g)\n",
+                failures, golden_path.c_str(), rtol, atol);
+    return 1;
+  }
+  std::printf("sora_golden_check: %zu metric(s) match %s (rtol %.3g)\n",
+              golden.size(), golden_path.c_str(), rtol);
+  return 0;
+}

@@ -5,6 +5,8 @@
 // aborting or producing an infeasible trajectory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "core/p2_decomposed.hpp"
@@ -68,6 +70,59 @@ TEST(PropertyDecomposed, SurvivesInjectedFaultsAcrossRegimes) {
       }
       const InvariantReport inv = check_trajectory(inst, run.trajectory);
       EXPECT_TRUE(inv.ok()) << inv.summary();
+    }
+  }
+}
+
+TEST(PropertyDecomposed, FaultedBlocksStillAgreeWithMonolithic) {
+  // ADMM-vs-monolithic agreement must hold even when individual block
+  // solves are faulted into the fallback chain: a clean monolithic run is
+  // the reference, a forced-decomposed run with injected faults the
+  // candidate. Costs may differ only by the decomposed tolerances.
+  for (const Regime regime : kAllRegimes) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      GeneratorConfig cfg;
+      cfg.regime = regime;
+      cfg.seed = 10 + seed;
+      SCOPED_TRACE(cfg.describe());
+      const auto inst = generate_instance(cfg);
+
+      RoaOptions mono;
+      mono.decomposition.mode = DecompositionOptions::Mode::kOff;
+      const RoaRun reference = core::run_roa(inst, mono);
+
+      RoaOptions forced;
+      forced.decomposition.mode = DecompositionOptions::Mode::kForce;
+      core::RoaRun faulted;
+      {
+        FaultPlan plan;
+        plan.fault_rate = 0.6;
+        plan.seed = 77 + seed;
+        plan.forced_attempts = 1;  // the decomposed attempt dies, the
+                                   // monolithic chain produces the slot
+        FaultInjector injector(plan);
+        faulted = core::run_roa(inst, forced);
+      }
+
+      ASSERT_EQ(faulted.trajectory.horizon(), inst.horizon);
+      const InvariantReport inv = check_trajectory(inst, faulted.trajectory);
+      EXPECT_TRUE(inv.ok()) << inv.summary();
+
+      // Agreement within the decomposed comparison tolerances: total cost
+      // relative, per-slot aggregate absolute.
+      const double ref_cost = reference.cost.total();
+      const double got_cost = faulted.cost.total();
+      EXPECT_NEAR(got_cost, ref_cost,
+                  5e-3 * std::max(1.0, std::abs(ref_cost)))
+          << "decomposed-with-faults diverged from monolithic";
+      for (std::size_t t = 0; t < inst.horizon; ++t) {
+        double ref_x = 0.0, got_x = 0.0;
+        for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+          ref_x += reference.trajectory.slots[t].x[e];
+          got_x += faulted.trajectory.slots[t].x[e];
+        }
+        EXPECT_NEAR(got_x, ref_x, 5e-2 * std::max(1.0, ref_x)) << "t=" << t;
+      }
     }
   }
 }

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "baselines/dcnc.hpp"
 #include "baselines/lcp_m.hpp"
 #include "baselines/offline.hpp"
 #include "baselines/oneshot.hpp"
@@ -68,6 +71,61 @@ TEST(Baselines, GreedyNearOptimalWithCheapReconfig) {
   const double greedy = run_one_shot_sequence(inst).cost.total();
   const double offline = run_offline_optimum(inst).cost.total();
   EXPECT_LT(greedy, 1.05 * offline);
+}
+
+// ---------------------------------------------------------------------------
+// DCNC — the queue-based drift-plus-penalty rival.
+
+TEST(Dcnc, ServesDemandAndAccountsQueues) {
+  const Instance inst = make_instance(12, 20.0, 6);
+  const DcncRun run = run_dcnc(inst);
+  ASSERT_EQ(run.trajectory.horizon(), inst.horizon);
+  ASSERT_EQ(run.queue_total.size(), inst.horizon);
+
+  double demand = 0.0;
+  for (const auto& row : inst.demand)
+    for (const double d : row) demand += d;
+  EXPECT_NEAR(run.total_demand, demand, 1e-9);
+  EXPECT_GT(run.total_served, 0.0);
+  EXPECT_LE(run.total_served, run.total_demand + 1e-9);
+  // Served + leftover backlog accounts for every demand unit.
+  EXPECT_NEAR(run.total_served + run.final_backlog, run.total_demand, 1e-9);
+  EXPECT_GE(run.max_backlog, run.mean_backlog);
+  EXPECT_TRUE(std::isfinite(run.cost.total()));
+}
+
+TEST(Dcnc, ZeroVDrainsQueuesGreedily) {
+  // V = 0 ignores prices entirely: serve whenever capacity allows. With the
+  // provisioning-rule margin above 1, every slot's demand fits, so backlog
+  // never accumulates.
+  const Instance inst = make_instance(10, 20.0, 7);
+  const DcncRun run = run_dcnc(inst, {.V = 0.0});
+  EXPECT_NEAR(run.final_backlog, 0.0, 1e-9);
+  EXPECT_NEAR(run.total_served, run.total_demand, 1e-9);
+}
+
+TEST(Dcnc, DrainCapLimitsCatchUpBurst) {
+  const Instance inst = make_instance(10, 20.0, 8);
+  DcncOptions opt;
+  opt.V = 0.0;
+  opt.max_drain_per_slot = 0.05;  // tiny: backlog can barely catch up
+  const DcncRun capped = run_dcnc(inst, opt);
+  const DcncRun uncapped = run_dcnc(inst, {.V = 0.0});
+  // The cap can only defer service, never add it.
+  EXPECT_LE(capped.total_served, uncapped.total_served + 1e-9);
+  EXPECT_GE(capped.final_backlog, uncapped.final_backlog - 1e-9);
+}
+
+TEST(Dcnc, DeterministicForFixedInstance) {
+  const Instance inst = make_instance(8, 20.0, 9);
+  const DcncRun a = run_dcnc(inst);
+  const DcncRun b = run_dcnc(inst);
+  EXPECT_DOUBLE_EQ(a.cost.total(), b.cost.total());
+  EXPECT_DOUBLE_EQ(a.mean_backlog, b.mean_backlog);
+  for (std::size_t t = 0; t < inst.horizon; ++t)
+    for (std::size_t e = 0; e < inst.num_edges(); ++e)
+      EXPECT_DOUBLE_EQ(a.trajectory.slots[t].x[e],
+                       b.trajectory.slots[t].x[e]);
 }
 
 }  // namespace

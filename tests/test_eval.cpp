@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <functional>
 
 #include "baselines/offline.hpp"
 #include "core/cost.hpp"
 #include "core/p1_model.hpp"
 #include "core/single_resource.hpp"
+#include "eval/montecarlo.hpp"
+#include "eval/report.hpp"
 #include "eval/scenarios.hpp"
 
 namespace sora::eval {
@@ -96,6 +100,89 @@ TEST(CrossCheck, OfflineLpMatchesSingleResourceOracle) {
       core::single_total_cost(ysub, core::single_offline(ysub));
   EXPECT_NEAR(offline.cost.total(), oracle,
               1e-4 * (1.0 + std::fabs(oracle)));
+}
+
+// ---------------------------------------------------------------------------
+// Health-aware Monte Carlo sweep: per-seed SolveOutcome counters must be
+// SURFACED in SeedStats, not silently averaged over degraded slots.
+
+TEST(MonteCarlo, HealthAwareSweepSurfacesDegradedSeeds) {
+  const Scenario scenario;
+  EvalScale scale;
+  scale.num_tier2 = 2;
+  scale.num_tier1 = 3;
+  scale.horizon_wikipedia = 4;
+
+  std::atomic<int> calls{0};
+  const SeedStats stats = sweep_seeds(
+      scenario, scale, 6,
+      std::function<SeedOutcome(const core::Instance&)>(
+          [&](const core::Instance& inst) {
+            const int call = calls.fetch_add(1);
+            SeedOutcome out;
+            out.value = static_cast<double>(inst.horizon);
+            // Two seeds report fallbacks, one of them also degraded slots
+            // and a failed repair.
+            if (call < 2) out.fallback_slots = 3;
+            if (call == 0) {
+              out.degraded_slots = 2;
+              out.failed_repairs = 1;
+            }
+            return out;
+          }));
+
+  EXPECT_EQ(stats.samples, 6u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_EQ(stats.seeds_with_fallbacks, 2u);
+  EXPECT_EQ(stats.seeds_with_degradation, 1u);
+  EXPECT_EQ(stats.seeds_with_failed_repairs, 1u);
+  EXPECT_EQ(stats.total_degraded_slots, 2u);
+  EXPECT_EQ(stats.total_failed_repairs, 1u);
+  EXPECT_FALSE(stats.all_healthy());
+}
+
+TEST(MonteCarlo, HealthyOutcomesAndDoubleOverloadReportAllHealthy) {
+  const Scenario scenario;
+  EvalScale scale;
+  scale.num_tier2 = 2;
+  scale.num_tier1 = 3;
+  scale.horizon_wikipedia = 4;
+
+  const SeedStats healthy = sweep_seeds(
+      scenario, scale, 4,
+      std::function<SeedOutcome(const core::Instance&)>(
+          [](const core::Instance& inst) {
+            SeedOutcome out;
+            out.value = static_cast<double>(inst.horizon);
+            return out;
+          }));
+  EXPECT_TRUE(healthy.all_healthy());
+  EXPECT_EQ(healthy.samples, 4u);
+
+  // The plain double overload cannot see solver health; its stats must stay
+  // zeroed rather than inventing counters.
+  const SeedStats plain =
+      sweep_seeds(scenario, scale, 4, [](const core::Instance& inst) {
+        return static_cast<double>(inst.horizon);
+      });
+  EXPECT_TRUE(plain.all_healthy());
+  EXPECT_EQ(plain.seeds_with_fallbacks, 0u);
+  EXPECT_DOUBLE_EQ(plain.mean, healthy.mean);
+}
+
+// ---------------------------------------------------------------------------
+// Jain fairness index.
+
+TEST(Fairness, JainIndexKnownValues) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);          // vacuously fair
+  EXPECT_DOUBLE_EQ(jain_index({5.0, 5.0, 5.0, 5.0}), 1.0);  // perfectly even
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25);  // 1/n hoarding
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+  EXPECT_NEAR(jain_index({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+  // Scale invariance.
+  EXPECT_NEAR(jain_index({10.0, 20.0, 30.0}), 36.0 / 42.0, 1e-12);
 }
 
 }  // namespace
