@@ -11,6 +11,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/sparse.hpp"
 #include "linalg/sparse_cholesky.hpp"
+#include "obs/slo.hpp"
 #include "solver/pdhg.hpp"
 #include "solver/simplex.hpp"
 #include "testing/fault_injection.hpp"
@@ -320,7 +321,10 @@ cloudnet::Instance slot_latency_instance() {
 
 void run_slot_latency(benchmark::State& state, const cloudnet::Instance& inst,
                       const core::RoaOptions& opts) {
-  std::vector<double> slot_seconds;
+  // Same streaming digest the production SLO path uses, so the reported
+  // quantiles carry the digest's half-octave resolution — what a scrape of
+  // sora_slot_latency_seconds would actually show.
+  obs::SloDigest digest;
   const auto inputs = core::InputSeries::truth(inst);
   for (auto _ : state) {
     core::P2Workspace workspace(inst, opts);
@@ -328,19 +332,13 @@ void run_slot_latency(benchmark::State& state, const cloudnet::Instance& inst,
     for (std::size_t t = 0; t < inst.horizon; ++t) {
       util::Timer timer;
       const auto sol = workspace.solve(inputs, t, prev);
-      slot_seconds.push_back(timer.seconds());
+      digest.observe(timer.seconds());
       prev = sol.alloc;
       benchmark::DoNotOptimize(sol.objective);
     }
   }
-  std::sort(slot_seconds.begin(), slot_seconds.end());
-  const auto pct = [&](double q) {
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(slot_seconds.size() - 1) + 0.5);
-    return slot_seconds[std::min(idx, slot_seconds.size() - 1)] * 1e3;
-  };
-  state.counters["slot_p50_ms"] = pct(0.50);
-  state.counters["slot_p99_ms"] = pct(0.99);
+  state.counters["slot_p50_ms"] = digest.quantile(0.50) * 1e3;
+  state.counters["slot_p99_ms"] = digest.quantile(0.99) * 1e3;
 }
 
 void BM_SlotLatencyMonolithic(benchmark::State& state) {

@@ -11,6 +11,7 @@
 #include "solver/ipm.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace sora::core {
 
@@ -394,9 +395,25 @@ NTierTrajectory solve_ntier_window(const NTierInstance& inst,
     }
   }
 
+  const solver::LpModel model = b.build();
+  // Same treatment as solve_p1_window: big multi-slot window LPs stall PDHG
+  // at the default budget (and simplex at this size is a hang, not a
+  // rescue), so scale the first-order budget with the model. Small windows
+  // keep the caller's options untouched.
+  solver::LpSolveOptions opts = lp;
+  const std::size_t size = model.num_rows() + model.num_vars();
+  if (size > opts.simplex_size_limit)
+    opts.pdhg.max_iterations =
+        std::max<std::size_t>(opts.pdhg.max_iterations, 120 * size);
+  util::Timer lp_timer;
   SolveOutcome lp_outcome;
-  const auto sol = solve_lp_with_fallback(b.build(), lp, &lp_outcome,
-                                          fault_slot, attempt_base);
+  const auto sol =
+      solve_lp_with_fallback(model, opts, &lp_outcome, fault_slot,
+                             attempt_base);
+  if (lp_outcome.fell_back() || !lp_outcome.ok())
+    record_flight("ntier_window", t0, lp_outcome, lp_timer.seconds(),
+                  "window[" + std::to_string(t0) + "," + std::to_string(t1) +
+                      ") size=" + std::to_string(size));
   if (outcome != nullptr) *outcome = lp_outcome;
   if (!sol.ok()) {
     if (window_ok != nullptr) {
@@ -916,11 +933,16 @@ NTierTrajectory run_ntier_roa(const NTierInstance& inst,
   NTierSlotSolver solver(inst, options);
   NTierTrajectory traj;
   NTierAllocation prev{Vec(inst.num_nodes(), 0.0), Vec(inst.num_links(), 0.0)};
+  obs::SlotSloTracker slo(options.slo);
   static obs::Counter* slots = &obs::Registry::global().counter(
       "sora_ntier_slots_total", "N-tier ROA slots solved");
   for (std::size_t t = 0; t < inst.horizon; ++t) {
     SolveOutcome outcome;
+    util::Timer slot_timer;
     prev = solver.solve(view, t, prev, &outcome);
+    const double slot_seconds = slot_timer.seconds();
+    slo.record(to_slot_sample(outcome, slot_seconds));
+    record_flight("ntier_slot", t, outcome, slot_seconds);
     traj.slots.push_back(prev);
     if (health != nullptr) {
       health->slot_health.push_back(SlotHealth{t, outcome.status,
@@ -934,6 +956,7 @@ NTierTrajectory run_ntier_roa(const NTierInstance& inst,
     }
     if (obs::metrics_enabled()) slots->inc();
   }
+  if (health != nullptr) health->slo = slo.report();
   return traj;
 }
 

@@ -112,7 +112,13 @@ struct NTierRoaOptions {
   // split with a low-dimensional consensus. kForce logs once and routes
   // monolithic by structure; kAuto/kOff are no-ops here.
   DecompositionOptions decomposition;
-  NTierRoaOptions() { ipm.tol = 1e-7; }
+  // Slot-SLO accounting (obs/slo.hpp); default budget from
+  // SORA_SLOT_BUDGET_MS, zero budget = quantiles only.
+  obs::SlotSloOptions slo;
+  NTierRoaOptions() {
+    ipm.tol = 1e-7;
+    slo.budget_seconds = obs::default_slot_budget_seconds();
+  }
 };
 
 /// Total cost (allocation + [increase]^+ reconfiguration, zero initial state).
@@ -139,6 +145,9 @@ struct NTierRoaHealth {
   std::size_t fallback_slots = 0;
   std::size_t degraded_slots = 0;
   double repair_cost_delta = 0.0;
+  // Slot-level SLO rollup (latency quantiles + deadline accounting against
+  // NTierRoaOptions::slo). See obs/slo.hpp.
+  obs::SlotSloReport slo;
 };
 
 NTierTrajectory run_ntier_roa(const NTierInstance& inst,

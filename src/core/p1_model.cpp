@@ -1,9 +1,12 @@
 #include "core/p1_model.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "core/cost.hpp"
+#include "core/resilience.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace sora::core {
 namespace {
@@ -195,7 +198,28 @@ Trajectory solve_p1_window(const Instance& inst, const InputSeries& inputs,
                            const Allocation& prev, const Allocation* terminal,
                            const solver::LpSolveOptions& options) {
   const P1WindowLp lp(inst, inputs, t_begin, t_end, prev, terminal);
-  const auto sol = solver::solve_lp(lp.model(), options);
+  const std::size_t size = lp.model().num_rows() + lp.model().num_vars();
+
+  // PDHG's iteration count on the coupled window LP grows with the problem:
+  // the default 2e5 budget that suits a per-slot surrogate stalls a few
+  // KKT digits short at Fig.5 scale (72 slots, ~9400 rows+vars needs ~1e6).
+  // Scale the budget with size rather than tolerate the iteration_limit.
+  solver::LpSolveOptions opts = options;
+  if (size > opts.simplex_size_limit)
+    opts.pdhg.max_iterations =
+        std::max<std::size_t>(opts.pdhg.max_iterations, 120 * size);
+
+  util::Timer timer;
+  SolveOutcome outcome;
+  const auto sol =
+      solve_lp_with_fallback(lp.model(), opts, &outcome, kNoFaultSlot);
+  // Window solves are forensically interesting whenever the primary backend
+  // did not finish cleanly; the record names the window's first slot.
+  if (outcome.fell_back() || !outcome.ok())
+    record_flight("p1_window", t_begin, outcome, timer.seconds(),
+                  "window[" + std::to_string(t_begin) + "," +
+                      std::to_string(t_end) + ") size=" +
+                      std::to_string(size));
   SORA_CHECK_MSG(sol.ok(), std::string("P1 window LP failed: ") +
                                solver::to_string(sol.status) + " " +
                                sol.detail);

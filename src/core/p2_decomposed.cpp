@@ -793,6 +793,26 @@ struct P2DecomposedSolver::Impl {
     return true;
   }
 
+  /// Forensic record for a decomposed-solve stall (before the demotion to
+  /// the monolithic chain, so the flight recorder keeps the ADMM residual
+  /// trail even when the fallback later succeeds).
+  void record_stall(std::size_t t, const DecomposedResult& out,
+                    const std::string& detail, const char* status) {
+    obs::FlightRecord rec;
+    rec.context = "p2_admm";
+    rec.slot = t;
+    rec.backend = options.decomposition.method ==
+                          DecompositionOptions::Method::kConsensusAdmm
+                      ? "decomposed_admm"
+                      : "decomposed_dual";
+    rec.status = status;
+    rec.iterations = out.iterations;
+    rec.detail = detail + " (primal " + std::to_string(out.primal_residual) +
+                 ", dual " + std::to_string(out.dual_residual) + ")";
+    rec.anomaly = obs::Anomaly::kIterationLimit;
+    obs::FlightRecorder::global().record(std::move(rec));
+  }
+
   bool solve(const InputSeries& inputs, std::size_t t, const Allocation& prev,
              DecomposedResult& out, std::string& detail) {
     SORA_TRACE_SPAN("admm/slot");
@@ -851,6 +871,7 @@ struct P2DecomposedSolver::Impl {
       if (!ok) m.stalls->inc();
     }
     if (!ok) {
+      record_stall(t, out, detail, "stall");
       // Broken trajectory: restart the consensus/dual state next slot.
       have_state = false;
       return false;
@@ -871,6 +892,7 @@ struct P2DecomposedSolver::Impl {
     }
     if (!restore_feasibility(inputs, t, x, y, s, z, detail)) {
       if (obs::metrics_enabled()) admm_metrics().stalls->inc();
+      record_stall(t, out, detail, "restore_infeasible");
       have_state = false;
       return false;
     }

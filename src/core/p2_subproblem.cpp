@@ -1189,8 +1189,10 @@ struct P2Workspace::Impl {
     outcome.status = status;
     if (status != solver::SolveStatus::kOptimal) {
       if (!outcome.detail.empty()) outcome.detail += "; ";
+      // Status name first: the anomaly classifier keys on these tokens.
       outcome.detail += std::string(to_string(backend)) + ": " +
-                        (fail.empty() ? solver::to_string(status) : fail);
+                        solver::to_string(status) +
+                        (fail.empty() ? "" : " (" + fail + ")");
       return false;
     }
     fill_from_point(dres.packed, out);
@@ -1290,9 +1292,9 @@ struct P2Workspace::Impl {
       if (!result.ok()) {
         if (!outcome.detail.empty()) outcome.detail += "; ";
         outcome.detail += std::string(to_string(backend)) + ": " +
-                          (result.detail.empty()
-                               ? solver::to_string(result.status)
-                               : result.detail);
+                          solver::to_string(result.status) +
+                          (result.detail.empty() ? ""
+                                                 : " (" + result.detail + ")");
       }
       return result.ok();
     };

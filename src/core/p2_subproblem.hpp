@@ -67,7 +67,15 @@ struct RoaOptions {
   // reference path never decompose.
   DecompositionOptions decomposition;
 
-  RoaOptions() { ipm.tol = 1e-6; }
+  // Slot-SLO accounting (obs/slo.hpp): per-slot latency quantiles and
+  // deadline hit/miss against `slo.budget_seconds`. The default picks up
+  // SORA_SLOT_BUDGET_MS; a zero budget still collects latency quantiles.
+  obs::SlotSloOptions slo;
+
+  RoaOptions() {
+    ipm.tol = 1e-6;
+    slo.budget_seconds = obs::default_slot_budget_seconds();
+  }
 };
 
 /// Per-solve timing breakdown, aggregated into RoaRun by the drivers.

@@ -8,6 +8,7 @@
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace sora::core {
 namespace {
@@ -192,15 +193,28 @@ struct Applier {
   const solver::LpSolveOptions& lp;
   ControlRun run;
   Allocation prev;
+  obs::SlotSloTracker slo;
+  double window_share_seconds = 0.0;  // per-slot share of the plan solve
+  std::size_t window_slots_left = 0;
 
   explicit Applier(const Instance& inst_, const solver::LpSolveOptions& lp_,
-                   std::string name)
-      : inst(inst_), lp(lp_), prev(Allocation::zeros(inst_.num_edges())) {
+                   std::string name, const obs::SlotSloOptions& slo_opts = {})
+      : inst(inst_), lp(lp_), prev(Allocation::zeros(inst_.num_edges())),
+        slo(slo_opts) {
     run.algorithm = std::move(name);
+  }
+
+  /// Amortize one window/chain planning solve over the `nslots` decisions it
+  /// produced; the next `nslots` apply() calls each carry an equal share.
+  void charge_window(double seconds, std::size_t nslots) {
+    if (nslots == 0) return;
+    window_share_seconds = seconds / static_cast<double>(nslots);
+    window_slots_left = nslots;
   }
 
   void apply(std::size_t t, const Allocation& planned) {
     SORA_TRACE_SPAN("predictive/apply_slot");
+    util::Timer timer;
     bool repaired = false;
     SolveOutcome rep;
     Allocation final_alloc =
@@ -215,12 +229,27 @@ struct Applier {
         repairs->inc();
       }
     }
+    double latency = timer.seconds();
+    if (window_slots_left > 0) {
+      latency += window_share_seconds;
+      --window_slots_left;
+    }
+    obs::SlotSample sample;
+    sample.latency_seconds = latency;
+    sample.backend_name = "window_lp";
+    sample.attempts = repaired ? 2 : 1;
+    sample.fell_back = repaired;
+    sample.degraded = !rep.ok();  // plan applied unrepaired
+    slo.record(sample);
+    if (repaired || !rep.ok())
+      record_flight("predictive_repair", t, rep, latency);
     prev = final_alloc;
     run.trajectory.slots.push_back(std::move(final_alloc));
   }
 
   ControlRun finish() {
     run.cost = total_cost(inst, run.trajectory);
+    run.slo = slo.report();
     return std::move(run);
   }
 };
@@ -230,12 +259,14 @@ struct Applier {
 ControlRun run_fhc(const Instance& inst, const ControlOptions& options) {
   SORA_CHECK(options.window >= 1);
   PredictedInputs pred = make_predictions(inst, options.prediction);
-  Applier applier(inst, options.lp, "FHC");
+  Applier applier(inst, options.lp, "FHC", options.roa.slo);
   for (std::size_t t0 = 0; t0 < inst.horizon; t0 += options.window) {
     const std::size_t t1 = std::min(inst.horizon, t0 + options.window);
     pred.observe(inst, t0);  // the block's first slot is current
+    util::Timer plan_timer;
     const Trajectory block = solve_p1_window(inst, pred.view(), t0, t1,
                                              applier.prev, nullptr, options.lp);
+    applier.charge_window(plan_timer.seconds(), block.horizon());
     for (std::size_t rel = 0; rel < block.horizon(); ++rel)
       applier.apply(t0 + rel, block.slots[rel]);
   }
@@ -245,13 +276,15 @@ ControlRun run_fhc(const Instance& inst, const ControlOptions& options) {
 ControlRun run_rhc(const Instance& inst, const ControlOptions& options) {
   SORA_CHECK(options.window >= 1);
   PredictedInputs pred = make_predictions(inst, options.prediction);
-  Applier applier(inst, options.lp, "RHC");
+  Applier applier(inst, options.lp, "RHC", options.roa.slo);
   for (std::size_t t = 0; t < inst.horizon; ++t) {
     const std::size_t t1 = std::min(inst.horizon, t + options.window);
     pred.observe(inst, t);
+    util::Timer plan_timer;
     const Trajectory window = solve_p1_window(inst, pred.view(), t, t1,
                                               applier.prev, nullptr,
                                               options.lp);
+    applier.charge_window(plan_timer.seconds(), 1);
     applier.apply(t, window.slots[0]);
   }
   return applier.finish();
@@ -260,13 +293,14 @@ ControlRun run_rhc(const Instance& inst, const ControlOptions& options) {
 ControlRun run_rfhc(const Instance& inst, const ControlOptions& options) {
   SORA_CHECK(options.window >= 1);
   PredictedInputs pred = make_predictions(inst, options.prediction);
-  Applier applier(inst, options.lp, "RFHC");
+  Applier applier(inst, options.lp, "RFHC", options.roa.slo);
   // One workspace for all blocks: the constraint pattern is per-Instance and
   // consecutive chain solves warm-start each other across block boundaries.
   P2Workspace workspace(inst, options.roa);
   for (std::size_t t0 = 0; t0 < inst.horizon; t0 += options.window) {
     const std::size_t t1 = std::min(inst.horizon, t0 + options.window);
     pred.observe(inst, t0);
+    util::Timer plan_timer;
     // Regularized chain P2(t0)..P2(t1-1) from the applied decision.
     std::vector<Allocation> chain;
     Allocation chain_prev = applier.prev;
@@ -276,6 +310,7 @@ ControlRun run_rfhc(const Instance& inst, const ControlOptions& options) {
       chain.push_back(std::move(p2.alloc));
     }
     if (t1 - t0 == 1) {
+      applier.charge_window(plan_timer.seconds(), 1);
       applier.apply(t0, chain[0]);
       continue;
     }
@@ -283,6 +318,7 @@ ControlRun run_rfhc(const Instance& inst, const ControlOptions& options) {
     const Trajectory block =
         solve_p1_window(inst, pred.view(), t0, t1, applier.prev,
                         &chain.back(), options.lp);
+    applier.charge_window(plan_timer.seconds(), block.horizon());
     for (std::size_t rel = 0; rel < block.horizon(); ++rel)
       applier.apply(t0 + rel, block.slots[rel]);
   }
@@ -310,17 +346,20 @@ ControlRun run_rrhc(const Instance& inst, const ControlOptions& options) {
     }
   };
 
-  Applier applier(inst, options.lp, "RRHC");
+  Applier applier(inst, options.lp, "RRHC", options.roa.slo);
   for (std::size_t t = 0; t < inst.horizon; ++t) {
     pred.observe(inst, t);
     const std::size_t t1 = std::min(inst.horizon, t + w);
+    util::Timer plan_timer;
     extend_chain_to(t1 - 1);
     if (t1 - t == 1) {
+      applier.charge_window(plan_timer.seconds(), 1);
       applier.apply(t, chain[t]);
       continue;
     }
     const Trajectory window = solve_p1_window(
         inst, pred.view(), t, t1, applier.prev, &chain[t1 - 1], options.lp);
+    applier.charge_window(plan_timer.seconds(), 1);
     applier.apply(t, window.slots[0]);
   }
   return applier.finish();
@@ -350,7 +389,7 @@ ControlRun run_afhc(const Instance& inst, const ControlOptions& options) {
     phases.push_back(applier.finish().trajectory);
   }
 
-  Applier applier(inst, options.lp, "AFHC");
+  Applier applier(inst, options.lp, "AFHC", options.roa.slo);
   for (std::size_t t = 0; t < inst.horizon; ++t) {
     Allocation avg = Allocation::zeros(inst.num_edges());
     for (const auto& traj : phases) {

@@ -64,6 +64,11 @@ struct ControlRun {
   // allocation was applied unrepaired (possibly under-covered) instead of
   // killing the run. Always 0 on a healthy solver.
   std::size_t failed_repairs = 0;
+  // Slot-level SLO rollup. Per-slot latency = repair/apply time plus the
+  // window-LP (or chain) planning time amortized over the block it planned;
+  // budget from ControlOptions::roa.slo. Repaired slots count as fallbacks,
+  // unrepaired (failed-repair) slots as degraded. See obs/slo.hpp.
+  obs::SlotSloReport slo;
 };
 
 ControlRun run_fhc(const Instance& inst, const ControlOptions& options);

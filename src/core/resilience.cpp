@@ -153,16 +153,32 @@ solver::LpSolution solve_lp_with_fallback(const solver::LpModel& model,
       lp.method == solver::LpMethod::kSimplex ||
       (lp.method == solver::LpMethod::kAuto &&
        model.num_rows() + model.num_vars() <= lp.simplex_size_limit);
+  // Simplex cost explodes with size; a few multiples past the auto-dispatch
+  // threshold "fall back to simplex" is a hang, not a rescue (the Fig.5-scale
+  // window LP, ~9400 rows+vars, runs for minutes). Past that point the retry
+  // is PDHG again with a much larger budget.
+  const bool simplex_viable =
+      model.num_rows() + model.num_vars() <= 8 * lp.simplex_size_limit;
 
+  const solver::LpMethod first =
+      primary_simplex ? solver::LpMethod::kSimplex : solver::LpMethod::kPdhg;
+  const solver::LpMethod second =
+      primary_simplex || !simplex_viable ? solver::LpMethod::kPdhg
+                                         : solver::LpMethod::kSimplex;
+
+  const auto method_name = [](solver::LpMethod m) {
+    return m == solver::LpMethod::kSimplex ? "simplex" : "pdhg";
+  };
   const auto attempt_one = [&](solver::LpMethod method,
                                std::size_t attempt) -> solver::LpSolution {
     solver::LpSolveOptions opts = lp;
     opts.method = method;
     if (attempt > attempt_base) {
       // Retry with a boosted budget: the first failure may simply have run
-      // out of iterations on a hard basis / stalled PDHG tail.
+      // out of iterations on a hard basis / stalled PDHG tail. A same-backend
+      // PDHG retry gets a bigger boost — more iterations is all it has.
       opts.simplex.max_iterations *= 2;
-      opts.pdhg.max_iterations *= 2;
+      opts.pdhg.max_iterations *= method == first ? 8 : 2;
       opts.pdhg.accept_factor = std::max(opts.pdhg.accept_factor, 10.0);
     }
     solver::LpSolution sol = solver::solve_lp(model, opts);
@@ -175,35 +191,37 @@ solver::LpSolution solve_lp_with_fallback(const solver::LpModel& model,
     return sol;
   };
 
-  const solver::LpMethod first =
-      primary_simplex ? solver::LpMethod::kSimplex : solver::LpMethod::kPdhg;
-  const solver::LpMethod second =
-      primary_simplex ? solver::LpMethod::kPdhg : solver::LpMethod::kSimplex;
-
+  // Trail entries always lead with the status name: the anomaly classifier
+  // (classify_anomaly) and post-mortem grepping key on tokens like
+  // "iteration_limit", which the backends' own detail strings (KKT gaps,
+  // step diagnostics) don't carry.
+  const auto describe = [&](const solver::LpSolution& s) {
+    std::string d = to_string(s.status);
+    if (!s.detail.empty()) d += " (" + s.detail + ")";
+    return d;
+  };
   std::size_t attempt = attempt_base;
   solver::LpSolution sol = attempt_one(first, attempt++);
   std::string trail;
   if (!sol.ok()) {
-    trail = std::string(primary_simplex ? "simplex" : "pdhg") + ": " +
-            (sol.detail.empty() ? to_string(sol.status) : sol.detail);
-    SORA_LOG_WARN << "lp fallback: primary "
-                  << (primary_simplex ? "simplex" : "pdhg") << " failed ("
-                  << to_string(sol.status) << "), retrying with "
-                  << (primary_simplex ? "pdhg" : "simplex");
+    trail = std::string(method_name(first)) + ": " + describe(sol);
+    SORA_LOG_WARN << "lp fallback: primary " << method_name(first)
+                  << " failed (" << to_string(sol.status)
+                  << "), retrying with " << method_name(second)
+                  << (second == first ? " (boosted budget)" : "");
     sol = attempt_one(second, attempt++);
     if (!sol.ok())
-      trail += std::string("; ") + (primary_simplex ? "pdhg" : "simplex") +
-               ": " + (sol.detail.empty() ? to_string(sol.status) : sol.detail);
+      trail += std::string("; ") + method_name(second) + ": " + describe(sol);
   }
 
   if (outcome != nullptr) {
+    const solver::LpMethod used =
+        (attempt - attempt_base) == 1 ? first : second;
     outcome->status = sol.status;
     outcome->attempts = attempt - attempt_base;
-    outcome->backend = (attempt - attempt_base) == 1
-                           ? (primary_simplex ? SolveBackend::kSimplex
-                                              : SolveBackend::kPdhg)
-                           : (primary_simplex ? SolveBackend::kPdhg
-                                              : SolveBackend::kSimplex);
+    outcome->backend = used == solver::LpMethod::kSimplex
+                           ? SolveBackend::kSimplex
+                           : SolveBackend::kPdhg;
     outcome->detail = trail;
   }
   return sol;
@@ -219,6 +237,51 @@ void observe_outcome(const SolveOutcome& outcome) {
   if (!outcome.ok()) metrics.exhausted->inc();
   const std::size_t b = static_cast<std::size_t>(outcome.backend);
   if (b < kNumBackends) metrics.backend[b]->inc();
+}
+
+// ---------------------------------------------------------------------------
+// Obs-layer bridge.
+
+obs::SlotSample to_slot_sample(const SolveOutcome& outcome,
+                               double latency_seconds) {
+  obs::SlotSample s;
+  s.latency_seconds = latency_seconds;
+  s.backend_name = to_string(outcome.backend);
+  s.attempts = outcome.attempts == 0 ? 1 : outcome.attempts;
+  s.fell_back = outcome.fell_back();
+  s.degraded = outcome.degraded;
+  return s;
+}
+
+obs::Anomaly classify_anomaly(const SolveOutcome& outcome) {
+  if (!outcome.ok()) return obs::Anomaly::kExhaustion;
+  if (outcome.degraded) return obs::Anomaly::kDegradation;
+  if (outcome.detail.find("non-finite") != std::string::npos)
+    return obs::Anomaly::kNanDemotion;
+  if (outcome.fell_back())
+    return outcome.detail.find("iteration_limit") != std::string::npos
+               ? obs::Anomaly::kIterationLimit
+               : obs::Anomaly::kNumericalError;
+  return obs::Anomaly::kNone;
+}
+
+std::string record_flight(const std::string& context, std::size_t slot,
+                          const SolveOutcome& outcome, double latency_seconds,
+                          const std::string& signature) {
+  obs::FlightRecord rec;
+  rec.context = context;
+  rec.slot = slot;
+  rec.backend = to_string(outcome.backend);
+  rec.status = solver::to_string(outcome.status);
+  rec.attempts = outcome.attempts == 0 ? 1 : outcome.attempts;
+  rec.fell_back = outcome.fell_back();
+  rec.degraded = outcome.degraded;
+  rec.latency_seconds = latency_seconds;
+  rec.repair_cost_delta = outcome.repair_cost_delta;
+  rec.detail = outcome.detail;
+  rec.signature = signature;
+  rec.anomaly = classify_anomaly(outcome);
+  return obs::FlightRecorder::global().record(std::move(rec));
 }
 
 }  // namespace sora::core

@@ -28,6 +28,8 @@
 #include <string>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
 #include "solver/lp.hpp"
 #include "solver/lp_solve.hpp"
 #include "solver/solution.hpp"
@@ -141,5 +143,32 @@ solver::LpSolution solve_lp_with_fallback(const solver::LpModel& model,
 
 /// Record a finished slot outcome in the sora_resilience_* metrics.
 void observe_outcome(const SolveOutcome& outcome);
+
+// ---------------------------------------------------------------------------
+// Obs-layer bridge (SLO samples + flight recorder). obs sits below core in
+// the layer order, so the mapping from the resilience taxonomy onto the
+// generic obs records lives here.
+
+/// Map a finished outcome onto a slot-SLO sample (latency measured by the
+/// caller; budget filled in by the tracker).
+obs::SlotSample to_slot_sample(const SolveOutcome& outcome,
+                               double latency_seconds);
+
+/// Forensic classification of a finished outcome:
+///   chain exhausted        -> kExhaustion
+///   hold + repair          -> kDegradation
+///   non-finite demotion    -> kNanDemotion
+///   fell back, iter limit  -> kIterationLimit
+///   fell back otherwise    -> kNumericalError
+///   clean primary solve    -> kNone
+obs::Anomaly classify_anomaly(const SolveOutcome& outcome);
+
+/// Append one flight record for a finished solve in `context` (e.g.
+/// "p2_slot", "ntier_slot", "p1_window"). Anomalous outcomes trigger an
+/// incident JSON when SORA_INCIDENT_DIR is configured; returns the incident
+/// path, or "" when none was written.
+std::string record_flight(const std::string& context, std::size_t slot,
+                          const SolveOutcome& outcome, double latency_seconds,
+                          const std::string& signature = {});
 
 }  // namespace sora::core

@@ -68,10 +68,15 @@ RoaRun run_roa_with_inputs(const Instance& inst, const InputSeries& inputs,
     run.slot_timings.reserve(inst.horizon);
     run.slot_health.reserve(inst.horizon);
     P2Workspace workspace(inst, options);
+    obs::SlotSloTracker slo(options.slo);
     Allocation prev = Allocation::zeros(inst.num_edges());
     for (std::size_t t = 0; t < inst.horizon; ++t) {
       SORA_TRACE_SPAN("roa/slot");
+      util::Timer slot_timer;
       P2Solution p2 = workspace.solve(inputs, t, prev);
+      const double slot_seconds = slot_timer.seconds();
+      slo.record(to_slot_sample(p2.outcome, slot_seconds));
+      record_flight("p2_slot", t, p2.outcome, slot_seconds);
       run.newton_steps += p2.newton_steps;
       run.build_seconds += p2.timing.build_seconds;
       run.barrier_seconds += p2.timing.solve_seconds;
@@ -102,6 +107,7 @@ RoaRun run_roa_with_inputs(const Instance& inst, const InputSeries& inputs,
       SORA_TRACE_SPAN("roa/cost_eval");
       run.cost = total_cost(inst, run.trajectory);
     }
+    run.slo = slo.report();
     if (obs_on) roa_metrics().runs->inc();
   }
   return run;

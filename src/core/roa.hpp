@@ -34,6 +34,10 @@ struct RoaRun {
                                    // given up)
   double repair_cost_delta = 0.0;  // summed cost of the degradation repairs
 
+  // Slot-level SLO rollup (latency quantiles, deadline hit/miss against
+  // RoaOptions::slo.budget_seconds). Always populated; see obs/slo.hpp.
+  obs::SlotSloReport slo;
+
   bool healthy() const { return fallback_slots == 0 && degraded_slots == 0; }
 };
 

@@ -135,6 +135,7 @@ struct Registry::Impl {
   std::deque<Histogram> histograms;
   std::vector<Entry> entries;  // registration order
   std::map<std::string, std::size_t> index;
+  std::vector<std::function<std::string()>> text_extensions;
 
   Entry* find(const std::string& name, Kind kind) {
     auto it = index.find(name);
@@ -218,9 +219,15 @@ RegistrySnapshot Registry::snapshot() const {
   return snap;
 }
 
-std::string Registry::render_text() const {
+void Registry::add_text_extension(std::function<std::string()> fn) {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
+  im.text_extensions.push_back(std::move(fn));
+}
+
+std::string Registry::render_text() const {
+  Impl& im = impl();
+  std::unique_lock<std::mutex> lock(im.mu);
   std::ostringstream os;
   for (const Entry& e : im.entries) {
     if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
@@ -249,6 +256,11 @@ std::string Registry::render_text() const {
       }
     }
   }
+  // Copy the extension list, then run the producers unlocked: extensions may
+  // read the registry (e.g. render a digest that also registers metrics).
+  const auto extensions = im.text_extensions;
+  lock.unlock();
+  for (const auto& fn : extensions) os << fn();
   return os.str();
 }
 

@@ -67,6 +67,16 @@ void configure_from_env() {
     const long cap = std::atol(env);
     if (cap > 0) set_trace_max_events_per_thread(static_cast<std::size_t>(cap));
   }
+  if (const char* env = std::getenv("SORA_INCIDENT_DIR")) {
+    if (env[0] != '\0') FlightRecorder::global().set_incident_dir(env);
+  }
+  if (const char* env = std::getenv("SORA_METRICS_PORT")) {
+    const long port = std::atol(env);
+    if (port > 0 && port <= 65535 && !ScrapeServer::global().running()) {
+      set_metrics_enabled(true);  // a scrape of dead counters helps nobody
+      start_global_scrape_server(static_cast<int>(port));
+    }
+  }
 }
 
 const std::string& metrics_out_path() { return env_config().metrics_out; }

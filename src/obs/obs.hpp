@@ -11,13 +11,22 @@
 //   SORA_TRACE=1|on             enable span tracing
 //   SORA_TRACE=<file>           enable AND export Chrome trace JSON at exit
 //   SORA_TRACE_MAX_EVENTS=N     per-thread span cap (default 65536)
+//   SORA_METRICS_PORT=<port>    enable metrics AND serve GET /metrics on
+//                               127.0.0.1:<port> (live Prometheus scrape)
+//   SORA_SLOT_BUDGET_MS=<ms>    default per-slot deadline budget for the
+//                               slot-SLO layer (see obs/slo.hpp)
+//   SORA_INCIDENT_DIR=<dir>     write flight-recorder incident JSONs here
+//                               (see obs/flight_recorder.hpp)
 //
 // CLI front-ends (sora_cli, bench/run_benchmarks.sh) expose the same knobs
-// as --metrics-out / --metrics-format / --trace-out. See
-// docs/OBSERVABILITY.md for the metric-name catalogue.
+// as --metrics-out / --metrics-format / --trace-out / --metrics-port /
+// --slot-budget-ms. See docs/OBSERVABILITY.md for the metric-name catalogue.
 #pragma once
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scrape_server.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace sora::obs {

@@ -1,0 +1,193 @@
+#include "obs/scrape_server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace sora::obs {
+
+namespace {
+
+constexpr const char* kTextContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; a scrape is best-effort
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// First request line up to CRLF, e.g. "GET /metrics HTTP/1.1". Reads at
+/// most 4 KiB; a scrape request never needs more.
+std::string read_request_line(int fd) {
+  char buf[4096];
+  std::size_t len = 0;
+  while (len < sizeof buf) {
+    const ssize_t n = ::recv(fd, buf + len, sizeof buf - len, 0);
+    if (n <= 0) break;
+    len += static_cast<std::size_t>(n);
+    for (std::size_t k = 0; k + 1 < len; ++k)
+      if (buf[k] == '\r' && buf[k + 1] == '\n') return std::string(buf, k);
+    // Stop once the header block is complete even without a full parse.
+    if (len >= 4 && std::memcmp(buf + len - 4, "\r\n\r\n", 4) == 0) break;
+  }
+  return std::string(buf, len);
+}
+
+void handle_connection(int fd) {
+  // Bound a stuck client; the loop must get back to accept().
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  const std::string line = read_request_line(fd);
+  std::string response;
+  if (line.compare(0, 4, "GET ") != 0) {
+    response = http_response("405 Method Not Allowed", kTextContentType,
+                             "method not allowed\n");
+  } else {
+    const std::size_t path_end = line.find(' ', 4);
+    const std::string path = line.substr(4, path_end == std::string::npos
+                                                ? std::string::npos
+                                                : path_end - 4);
+    if (path == "/metrics") {
+      response = http_response("200 OK", kTextContentType,
+                               Registry::global().render_text());
+    } else if (path == "/healthz") {
+      response = http_response("200 OK", kTextContentType, "ok\n");
+    } else {
+      response =
+          http_response("404 Not Found", kTextContentType, "not found\n");
+    }
+  }
+  send_all(fd, response);
+  ::close(fd);
+}
+
+}  // namespace
+
+struct ScrapeServer::Impl {
+  std::atomic<bool> running{false};
+  int listen_fd = -1;
+  int port = -1;
+  std::thread thread;
+
+  void accept_loop() {
+    while (running.load(std::memory_order_acquire)) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener shut down (stop()) or broken
+      }
+      handle_connection(fd);
+    }
+  }
+};
+
+ScrapeServer::ScrapeServer() : impl_(new Impl) {}
+
+ScrapeServer::~ScrapeServer() {
+  stop();
+  delete impl_;
+}
+
+ScrapeServer& ScrapeServer::global() {
+  static ScrapeServer* server = new ScrapeServer;  // leaked past atexit
+  return *server;
+}
+
+int ScrapeServer::start(int port) {
+  Impl& im = *impl_;
+  if (im.running.load(std::memory_order_acquire)) return -1;
+  if (port < 0 || port > 65535) return -1;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 8) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+
+  im.listen_fd = fd;
+  im.port = static_cast<int>(ntohs(addr.sin_port));
+  im.running.store(true, std::memory_order_release);
+  im.thread = std::thread([&im] { im.accept_loop(); });
+  return im.port;
+}
+
+void ScrapeServer::stop() {
+  Impl& im = *impl_;
+  if (!im.running.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() wakes the blocked accept(); close() alone may not.
+  ::shutdown(im.listen_fd, SHUT_RDWR);
+  ::close(im.listen_fd);
+  if (im.thread.joinable()) im.thread.join();
+  im.listen_fd = -1;
+  im.port = -1;
+}
+
+bool ScrapeServer::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+int ScrapeServer::port() const {
+  return running() ? impl_->port : -1;
+}
+
+int start_global_scrape_server(int port) {
+  const int bound = ScrapeServer::global().start(port);
+  if (bound < 0) {
+    std::fprintf(stderr,
+                 "[warn] sora_obs: scrape server failed to bind port %d\n",
+                 port);
+  } else {
+    std::fprintf(stderr,
+                 "[info] sora_obs: serving /metrics on 127.0.0.1:%d\n",
+                 bound);
+  }
+  return bound;
+}
+
+}  // namespace sora::obs

@@ -24,6 +24,10 @@
 //   --metrics-out    write the metrics registry to this file
 //   --metrics-format text|json (default: json, or text for .txt/.prom)
 //   --trace-out      write a Chrome trace-event JSON to this file
+//   --metrics-port P serve live Prometheus text on 127.0.0.1:P/metrics
+//                    (enables metrics; same contract as SORA_METRICS_PORT)
+//   --slot-budget-ms B  per-slot deadline budget for the SLO report
+//                       (default SORA_SLOT_BUDGET_MS, 0 = quantiles only)
 //   --inject-faults RATE  force solver faults on ~RATE of slots (0 = off);
 //                         exercises the resilience chain (docs/ROBUSTNESS.md)
 //   --inject-seed S       fault-schedule seed                     [--seed]
@@ -77,6 +81,8 @@ struct NamedRun {
   std::size_t degraded_slots = 0;
   std::size_t failed_repairs = 0;
   double repair_cost_delta = 0.0;
+  // Slot-SLO rollup where the policy exposes it (ROA, predictive).
+  obs::SlotSloReport slo;
 };
 
 core::Instance build(const util::Options& opts) {
@@ -114,6 +120,8 @@ NamedRun run_algorithm(const std::string& name, const core::Instance& inst,
 
   core::RoaOptions roa;
   roa.eps = roa.eps_prime = opts.get_double("eps", 1e-2);
+  if (opts.has("slot-budget-ms"))
+    roa.slo.budget_seconds = opts.get_double("slot-budget-ms", 0.0) * 1e-3;
   core::ControlOptions control;
   control.window = static_cast<std::size_t>(opts.get_int("window", 4));
   control.prediction = {opts.get_double("error", 0.0),
@@ -123,6 +131,7 @@ NamedRun run_algorithm(const std::string& name, const core::Instance& inst,
   const auto take_control = [&out](const core::ControlRun& run) {
     out.trajectory = run.trajectory;
     out.failed_repairs = run.failed_repairs;
+    out.slo = run.slo;
   };
   if (name == "roa") {
     const core::RoaRun run = core::run_roa(inst, roa);
@@ -130,6 +139,7 @@ NamedRun run_algorithm(const std::string& name, const core::Instance& inst,
     out.fallback_slots = run.fallback_slots;
     out.degraded_slots = run.degraded_slots;
     out.repair_cost_delta = run.repair_cost_delta;
+    out.slo = run.slo;
   } else if (name == "greedy") {
     out.trajectory = baselines::run_one_shot_sequence(inst).trajectory;
   } else if (name == "offline") {
@@ -289,6 +299,10 @@ int main(int argc, char** argv) {
           "  --metrics-out FILE    solver/ROA metrics (json, or text for\n"
           "                        .txt/.prom; --metrics-format overrides)\n"
           "  --metrics-format text|json\n"
+          "  --metrics-port P      live Prometheus scrape on 127.0.0.1:P\n"
+          "                        (enables metrics; env: SORA_METRICS_PORT)\n"
+          "  --slot-budget-ms B    per-slot SLO deadline budget in ms\n"
+          "                        (default SORA_SLOT_BUDGET_MS; 0 = off)\n"
           "  --trace-out FILE      Chrome trace-event JSON (Perfetto)\n"
           "  --inject-faults RATE  force solver faults on ~RATE of slots\n"
           "  --inject-seed S       fault-schedule seed (default --seed)\n"
@@ -308,7 +322,8 @@ int main(int argc, char** argv) {
       argc, argv,
       {"algorithm", "workload", "trace", "hours", "tier2", "tier1", "k", "b",
        "eps", "window", "error", "model-tier1", "seed", "simulate", "certify",
-       "out", "metrics-out", "metrics-format", "trace-out", "inject-faults",
+       "out", "metrics-out", "metrics-format", "metrics-port",
+       "slot-budget-ms", "trace-out", "inject-faults",
        "inject-seed", "inject-attempts", "scenario", "greedy-frac", "inflate",
        "dcnc-v", "outage-rate", "outage-duration", "seeds", "scenario-out"});
 
@@ -319,6 +334,17 @@ int main(int argc, char** argv) {
   const std::string trace_out = opts.get_string("trace-out", "");
   if (!metrics_out.empty()) obs::set_metrics_enabled(true);
   if (!trace_out.empty()) obs::set_trace_enabled(true);
+  if (opts.has("metrics-port")) {
+    const int port = opts.get_int("metrics-port", 0);
+    obs::set_metrics_enabled(true);
+    const int bound = obs::start_global_scrape_server(port);
+    if (bound < 0) {
+      std::cerr << "failed to start scrape server on port " << port << "\n";
+      return 1;
+    }
+    std::cout << "metrics: live scrape at http://127.0.0.1:" << bound
+              << "/metrics\n";
+  }
 
   const core::Instance inst = build(opts);
   const auto report = cloudnet::validate_instance(inst);
@@ -389,6 +415,25 @@ int main(int argc, char** argv) {
     if (injector)
       std::printf("  faults delivered through the hook: %zu\n",
                   injector->injections());
+  }
+
+  // Slot-SLO table: shown for any policy that tracked per-slot latency
+  // (ROA and the predictive controllers). Quantiles come from the same
+  // log-bucket digest the scrape endpoint exports.
+  bool any_slo = false;
+  for (const auto& run : runs) any_slo |= run.slo.slots > 0;
+  if (any_slo) {
+    std::printf("\nslot SLO (ms):\n");
+    std::printf("%-9s %9s %9s %9s %9s %9s %10s\n", "policy", "p50", "p95",
+                "p99", "max", "budget", "misses");
+    for (const auto& run : runs) {
+      if (run.slo.slots == 0) continue;
+      std::printf("%-9s %9.3f %9.3f %9.3f %9.3f %9.3f %6zu/%zu\n",
+                  run.name.c_str(), run.slo.p50_seconds * 1e3,
+                  run.slo.p95_seconds * 1e3, run.slo.p99_seconds * 1e3,
+                  run.slo.max_seconds * 1e3, run.slo.budget_seconds * 1e3,
+                  run.slo.deadline_misses, run.slo.slots);
+    }
   }
 
   if (algorithm == "all") {

@@ -2,10 +2,14 @@
 // Used by CI to gate the telemetry artifacts and handy for humans too.
 //
 //   sora_obs_check --metrics m.json [--require sora_ipm_newton_steps ...]
+//                  [--require-prefix sora_slot ...]
 //   sora_obs_check --trace t.json [--min-events N]
+//   sora_obs_check --incident sora-incident-*.json
 //
-// Exits 0 when every given file parses and every --require'd metric exists
-// with at least one recorded observation; prints what failed otherwise.
+// Exits 0 when every given file parses, every --require'd metric exists
+// with at least one recorded observation, every --require-prefix matches at
+// least one non-empty metric, and every --incident file is a well-formed
+// flight-recorder dump; prints what failed otherwise.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,7 +44,8 @@ bool metric_has_data(const Value& metric) {
 }
 
 int check_metrics(const std::string& path,
-                  const std::vector<std::string>& required) {
+                  const std::vector<std::string>& required,
+                  const std::vector<std::string>& required_prefixes) {
   const Value doc = sora::obs::json::parse(read_file(path));
   const Value& metrics = doc.at("metrics");
   int failures = 0;
@@ -62,8 +67,69 @@ int check_metrics(const std::string& path,
       ++failures;
     }
   }
+  for (const std::string& prefix : required_prefixes) {
+    std::size_t matched = 0;
+    for (const Value& metric : metrics.as_array()) {
+      const std::string& name = metric.at("name").as_string();
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (metric_has_data(metric)) ++matched;
+    }
+    if (matched == 0) {
+      std::fprintf(stderr,
+                   "FAIL: no non-empty metric with prefix %s in %s\n",
+                   prefix.c_str(), path.c_str());
+      ++failures;
+    } else {
+      std::printf("prefix %s: %zu non-empty metrics\n", prefix.c_str(),
+                  matched);
+    }
+  }
   std::printf("metrics %s: %zu metrics, %zu required present\n", path.c_str(),
               metrics.as_array().size(), required.size());
+  return failures;
+}
+
+// Validate a flight-recorder incident dump: version tag, a trigger record
+// carrying a real anomaly, and a ring whose every record has the forensic
+// fields the post-mortem tooling keys on.
+int check_incident(const std::string& path) {
+  const Value doc = sora::obs::json::parse(read_file(path));
+  int failures = 0;
+  if (!doc.find("version") || doc.at("version").as_number() != 1.0) {
+    std::fprintf(stderr, "FAIL: %s missing version 1 tag\n", path.c_str());
+    ++failures;
+  }
+  static const char* kRecordKeys[] = {"sequence", "context",  "slot",
+                                      "backend",  "status",   "anomaly",
+                                      "detail",   "latency_seconds"};
+  const auto check_record = [&](const Value& rec, const char* what) {
+    for (const char* key : kRecordKeys) {
+      if (!rec.find(key)) {
+        std::fprintf(stderr, "FAIL: %s %s missing field %s\n", path.c_str(),
+                     what, key);
+        ++failures;
+      }
+    }
+  };
+  if (const Value* trigger = doc.find("incident")) {
+    check_record(*trigger, "trigger");
+    if (trigger->find("anomaly") &&
+        trigger->at("anomaly").as_string() == "none") {
+      std::fprintf(stderr, "FAIL: %s trigger anomaly is none\n", path.c_str());
+      ++failures;
+    }
+  } else {
+    std::fprintf(stderr, "FAIL: %s has no incident record\n", path.c_str());
+    ++failures;
+  }
+  if (const Value* ring = doc.find("ring")) {
+    for (const Value& rec : ring->as_array()) check_record(rec, "ring record");
+    std::printf("incident %s: %zu ring records\n", path.c_str(),
+                ring->as_array().size());
+  } else {
+    std::fprintf(stderr, "FAIL: %s has no ring\n", path.c_str());
+    ++failures;
+  }
   return failures;
 }
 
@@ -97,6 +163,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::vector<std::string> required;
+  std::vector<std::string> required_prefixes;
+  std::vector<std::string> incident_paths;
   double min_events = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,24 +182,32 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (arg == "--require") {
       required.push_back(next());
+    } else if (arg == "--require-prefix") {
+      required_prefixes.push_back(next());
+    } else if (arg == "--incident") {
+      incident_paths.push_back(next());
     } else if (arg == "--min-events") {
       min_events = std::strtod(next().c_str(), nullptr);
     } else {
       std::fprintf(stderr,
-                   "usage: sora_obs_check [--metrics FILE [--require NAME]...]"
-                   " [--trace FILE [--min-events N]]\n");
+                   "usage: sora_obs_check [--metrics FILE [--require NAME]..."
+                   " [--require-prefix PREFIX]...]"
+                   " [--trace FILE [--min-events N]]"
+                   " [--incident FILE]...\n");
       return 2;
     }
   }
-  if (metrics_path.empty() && trace_path.empty()) {
+  if (metrics_path.empty() && trace_path.empty() && incident_paths.empty()) {
     std::fprintf(stderr, "sora_obs_check: nothing to check\n");
     return 2;
   }
 
   int failures = 0;
   try {
-    if (!metrics_path.empty()) failures += check_metrics(metrics_path, required);
+    if (!metrics_path.empty())
+      failures += check_metrics(metrics_path, required, required_prefixes);
     if (!trace_path.empty()) failures += check_trace(trace_path, min_events);
+    for (const std::string& p : incident_paths) failures += check_incident(p);
   } catch (const sora::util::CheckError& e) {
     std::fprintf(stderr, "FAIL: %s\n", e.what());
     return 1;
