@@ -37,6 +37,28 @@ struct InputSeries {
   }
 };
 
+/// One slot's inputs as raw rows — the streaming counterpart of InputSeries.
+/// The per-slot solvers consume only this view, so a long-lived daemon can
+/// feed arbitrary λ/price rows without materializing a horizon. `slot` is
+/// the logical slot index, used for attribution only (fault injection,
+/// flight records, error messages) — never as an array index.
+struct SlotInputs {
+  std::size_t slot = 0;
+  const std::vector<double>* demand = nullptr;       // [J] lambda_j
+  const std::vector<double>* tier2_price = nullptr;  // [I] a_i
+  const std::vector<double>* tier1_price = nullptr;  // [J]; null without F_1
+
+  /// View of slot t of a batch series (zero-copy row pointers).
+  static SlotInputs at(const Instance& inst, const InputSeries& inputs,
+                       std::size_t t) {
+    return {t, &(*inputs.demand)[t], &(*inputs.tier2_price)[t],
+            inst.has_tier1() ? &inst.tier1_price[t] : nullptr};
+  }
+  double lambda(std::size_t j) const { return (*demand)[j]; }
+  double price(std::size_t i) const { return (*tier2_price)[i]; }
+  double t1_price(std::size_t j) const { return (*tier1_price)[j]; }
+};
+
 class P1WindowLp {
  public:
   /// Model P1 over absolute slots [t_begin, t_end), given the decision at

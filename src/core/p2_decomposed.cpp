@@ -91,18 +91,18 @@ class BlockObjective final : public solver::ConvexObjective {
   std::size_t z(std::size_t k) const { return 3 * m_ + k; }
   std::size_t size() const { return (with_z_ ? 4 : 3) * m_; }
 
-  void begin_slot(const Instance& inst, const InputSeries& inputs,
-                  std::size_t t, const Allocation& prev) {
+  void begin_slot(const Instance& inst, const SlotInputs& in,
+                  const Allocation& prev) {
     for (std::size_t k = 0; k < m_; ++k) {
       const std::size_t e = edges_[k];
-      price_x_[k] = inputs.price(t, inst.edges[e].tier2);
+      price_x_[k] = in.price(inst.edges[e].tier2);
       prev_y_[k] = prev.y[e];
     }
     if (with_z_) {
       prev_zsum_ = 0.0;
       const std::size_t j = inst.edges[edges_[0]].tier1;
       for (std::size_t k = 0; k < m_; ++k) {
-        price_z_[k] = inst.tier1_price[t][j];
+        price_z_[k] = in.t1_price(j);
         prev_zsum_ += prev.z[edges_[k]];
       }
     }
@@ -444,11 +444,11 @@ struct P2DecomposedSolver::Impl {
 
   // Per-slot patching of one block: coverage rhs, conditional (3e) rows,
   // objective prices / previous decision, and the even-split anchor.
-  void patch_block_slot(Block& b, const InputSeries& inputs, std::size_t t,
+  void patch_block_slot(Block& b, const SlotInputs& in,
                         const Allocation& prev) {
     const std::size_t m = b.edges.size();
     const BlockObjective& L = *b.objective;
-    const double lambda = inputs.lambda(t, b.j);
+    const double lambda = in.lambda(b.j);
     Vec& h = b.barrier.mutable_rhs();
     h = b.h_static;
     h[b.gamma_row] = -lambda;
@@ -464,7 +464,7 @@ struct P2DecomposedSolver::Impl {
         vals[p] = active ? -1.0 : 0.0;
       h[row] = active ? -rhs : 1.0;
     }
-    b.objective->begin_slot(inst, inputs, t, prev);
+    b.objective->begin_slot(inst, in, prev);
 
     const double split = lambda / static_cast<double>(m);
     b.anchor.assign(L.size(), 0.0);
@@ -564,7 +564,7 @@ struct P2DecomposedSolver::Impl {
 
   // -------------------------------------------------------------------------
   // Consensus ADMM main loop.
-  bool solve_admm(std::size_t t, DecomposedResult& out, std::string& detail) {
+  bool solve_admm(DecomposedResult& out, std::string& detail) {
     const DecompositionOptions& dec = options.decomposition;
     const double alpha = std::clamp(dec.relaxation, 1.0, 1.8);
     const double sqrt_e = std::sqrt(static_cast<double>(E));
@@ -659,7 +659,7 @@ struct P2DecomposedSolver::Impl {
   // linearize the tier-2 entropic around the smoothed aggregate estimate
   // xhat_i, keep the blocks honest with a small proximal term, and take
   // diminishing projected subgradient steps on nu.
-  bool solve_dual(std::size_t t, DecomposedResult& out, std::string& detail) {
+  bool solve_dual(DecomposedResult& out, std::string& detail) {
     const DecompositionOptions& dec = options.decomposition;
     if (!have_state) {
       std::fill(nu.begin(), nu.end(), 0.0);
@@ -730,9 +730,8 @@ struct P2DecomposedSolver::Impl {
   // down, re-tighten s = min(s, x, y[, z]), then repair any coverage
   // shortfall greedily from remaining headroom. Returns false when the
   // shortfall cannot be closed (caller demotes to the monolithic chain).
-  bool restore_feasibility(const InputSeries& inputs, std::size_t t,
-                           Vec& x, Vec& y, Vec& s, Vec& z,
-                           std::string& detail) {
+  bool restore_feasibility(const SlotInputs& in, Vec& x, Vec& y, Vec& s,
+                           Vec& z, std::string& detail) {
     Vec totals(inst.num_tier2(), 0.0);
     for (std::size_t e = 0; e < E; ++e) totals[inst.edges[e].tier2] += x[e];
     for (std::size_t i = 0; i < inst.num_tier2(); ++i) {
@@ -753,7 +752,7 @@ struct P2DecomposedSolver::Impl {
         t1_totals[inst.edges[e].tier1] += z[e];
 
     for (const Block& b : blocks) {
-      const double lambda = inputs.lambda(t, b.j);
+      const double lambda = in.lambda(b.j);
       double served = 0.0;
       for (const std::size_t e : b.edges) served += s[e];
       double short_by = lambda - served;
@@ -813,15 +812,16 @@ struct P2DecomposedSolver::Impl {
     obs::FlightRecorder::global().record(std::move(rec));
   }
 
-  bool solve(const InputSeries& inputs, std::size_t t, const Allocation& prev,
+  bool solve(const SlotInputs& in, const Allocation& prev,
              DecomposedResult& out, std::string& detail) {
     SORA_TRACE_SPAN("admm/slot");
+    const std::size_t t = in.slot;  // attribution only
 
     // A site with positive demand and no admissible edges makes P2
     // infeasible; hand the slot to the monolithic path, which reports it
     // with the canonical error.
     for (std::size_t j = 0; j < inst.num_tier1(); ++j)
-      if (inst.edges_of_tier1[j].empty() && inputs.lambda(t, j) > 0.0) {
+      if (inst.edges_of_tier1[j].empty() && in.lambda(j) > 0.0) {
         detail = "site " + std::to_string(j) + " has demand but no edges";
         return false;
       }
@@ -830,7 +830,7 @@ struct P2DecomposedSolver::Impl {
     for (std::size_t e = 0; e < E; ++e)
       prev_totals[inst.edges[e].tier2] += std::max(0.0, prev.x[e]);
     for (Block& b : blocks) {
-      patch_block_slot(b, inputs, t, prev);
+      patch_block_slot(b, in, prev);
       b.newton_steps = 0;
       b.failed = false;
     }
@@ -846,8 +846,7 @@ struct P2DecomposedSolver::Impl {
     for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
       const auto& ids = inst.edges_of_tier1[j];
       if (ids.empty()) continue;
-      const double share =
-          inputs.lambda(t, j) / static_cast<double>(ids.size());
+      const double share = in.lambda(j) / static_cast<double>(ids.size());
       for (const std::size_t e : ids) {
         consensus[e] = std::max(std::max(0.0, prev.x[e]), share);
         x_cur[e] = consensus[e];
@@ -858,8 +857,8 @@ struct P2DecomposedSolver::Impl {
     const bool ok =
         options.decomposition.method ==
                 DecompositionOptions::Method::kConsensusAdmm
-            ? solve_admm(t, out, detail)
-            : solve_dual(t, out, detail);
+            ? solve_admm(out, detail)
+            : solve_dual(out, detail);
 
     out.newton_steps = 0;
     for (const Block& b : blocks) out.newton_steps += b.newton_steps;
@@ -890,7 +889,7 @@ struct P2DecomposedSolver::Impl {
         if (with_z) z[e] = std::max(0.0, b.local[L.z(k)]);
       }
     }
-    if (!restore_feasibility(inputs, t, x, y, s, z, detail)) {
+    if (!restore_feasibility(in, x, y, s, z, detail)) {
       if (obs::metrics_enabled()) admm_metrics().stalls->inc();
       record_stall(t, out, detail, "restore_infeasible");
       have_state = false;
@@ -941,10 +940,9 @@ P2DecomposedSolver::P2DecomposedSolver(const Instance& inst,
 
 P2DecomposedSolver::~P2DecomposedSolver() = default;
 
-bool P2DecomposedSolver::solve(const InputSeries& inputs, std::size_t t,
-                               const Allocation& prev, DecomposedResult& out,
-                               std::string& detail) {
-  return impl_->solve(inputs, t, prev, out, detail);
+bool P2DecomposedSolver::solve(const SlotInputs& in, const Allocation& prev,
+                               DecomposedResult& out, std::string& detail) {
+  return impl_->solve(in, prev, out, detail);
 }
 
 void P2DecomposedSolver::reset_warm_start() { impl_->reset_warm_start(); }

@@ -130,10 +130,10 @@ class P2DecomposedSolver {
   P2DecomposedSolver(const P2DecomposedSolver&) = delete;
   P2DecomposedSolver& operator=(const P2DecomposedSolver&) = delete;
 
-  /// Solve P2(t). Returns false on stall / failed restoration (detail says
-  /// why); the caller is expected to fall back to the monolithic path.
-  /// Never throws for solver-side failures.
-  bool solve(const InputSeries& inputs, std::size_t t, const Allocation& prev,
+  /// Solve P2 for one slot's inputs. Returns false on stall / failed
+  /// restoration (detail says why); the caller is expected to fall back to
+  /// the monolithic path. Never throws for solver-side failures.
+  bool solve(const SlotInputs& in, const Allocation& prev,
              DecomposedResult& out, std::string& detail);
 
   /// Drop consensus/dual/warm-start state: the next solve starts cold.

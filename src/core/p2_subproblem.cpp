@@ -77,20 +77,19 @@ Layout layout_for(const Instance& inst) {
 // provisioning. Shared by the dense and sparse paths. Tier-1 clouds with no
 // admissible edges are skipped — dividing by |I_j| = 0 would poison the
 // whole vector with NaN; positive demand there is structurally infeasible.
-void even_split_start_into(const Instance& inst, const InputSeries& inputs,
-                           std::size_t t, const Layout& layout, Vec& v) {
+void even_split_start_into(const Instance& inst, const SlotInputs& in,
+                           const Layout& layout, Vec& v) {
   v.assign(layout.size(), 0.0);
   for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
     const auto& ids = inst.edges_of_tier1[j];
     if (ids.empty()) {
-      SORA_CHECK_MSG(inputs.lambda(t, j) <= 0.0,
+      SORA_CHECK_MSG(in.lambda(j) <= 0.0,
                      "tier-1 cloud " + std::to_string(j) +
                          " has no admissible edges but positive demand at t=" +
-                         std::to_string(t) + ": P2 is infeasible");
+                         std::to_string(in.slot) + ": P2 is infeasible");
       continue;
     }
-    const double split =
-        inputs.lambda(t, j) / static_cast<double>(ids.size());
+    const double split = in.lambda(j) / static_cast<double>(ids.size());
     for (const std::size_t e : ids) {
       v[layout.s(e)] = split * 1.01 + 1e-7;
       v[layout.x(e)] = split * 1.02 + 2e-7;
@@ -103,7 +102,7 @@ void even_split_start_into(const Instance& inst, const InputSeries& inputs,
 // The smooth convex P2 objective (dense reference implementation).
 class P2Objective : public solver::ConvexObjective {
  public:
-  P2Objective(const Instance& inst, const InputSeries& inputs, std::size_t t,
+  P2Objective(const Instance& inst, const SlotInputs& in,
               const Allocation& prev, const RoaOptions& options)
       : inst_(inst), layout_(layout_for(inst)), options_(options) {
     const std::size_t num_i = inst.num_tier2();
@@ -125,7 +124,7 @@ class P2Objective : public solver::ConvexObjective {
     price_x_.resize(layout_.num_edges);
     price_y_.resize(layout_.num_edges);
     for (std::size_t e = 0; e < layout_.num_edges; ++e) {
-      price_x_[e] = inputs.price(t, inst.edges[e].tier2);
+      price_x_[e] = in.price(inst.edges[e].tier2);
       price_y_[e] = inst.edge_price[e];
     }
     // Tier-1 (F_1) term: entropic on the per-tier-1 aggregates Z_j.
@@ -139,7 +138,7 @@ class P2Objective : public solver::ConvexObjective {
       }
       price_z_.resize(layout_.num_edges);
       for (std::size_t e = 0; e < layout_.num_edges; ++e)
-        price_z_[e] = inst.tier1_price[t][inst.edges[e].tier1];
+        price_z_[e] = in.t1_price(inst.edges[e].tier1);
     }
   }
 
@@ -265,15 +264,14 @@ struct P2Constraints {
   std::vector<std::size_t> sigma_row;  // per edge, z >= s
 };
 
-P2Constraints build_constraints(const Instance& inst, const InputSeries& inputs,
-                                std::size_t t) {
+P2Constraints build_constraints(const Instance& inst, const SlotInputs& in) {
   const Layout layout = layout_for(inst);
   const std::size_t E = layout.num_edges;
   const std::size_t I = inst.num_tier2();
   const std::size_t J = inst.num_tier1();
 
   double total_demand = 0.0;
-  for (std::size_t j = 0; j < J; ++j) total_demand += inputs.lambda(t, j);
+  for (std::size_t j = 0; j < J; ++j) total_demand += in.lambda(j);
 
   // Count rows: 2E (3a,3b) + J (3c) + nonneg 3E + capacity I + E, plus the
   // conditional transfer rows (3d)/(3e).
@@ -306,8 +304,8 @@ P2Constraints build_constraints(const Instance& inst, const InputSeries& inputs,
     // An edgeless tier-1 cloud with zero demand yields the vacuous row
     // 0 <= 0, which has no strict interior — skip it. (With positive demand
     // the empty row is kept: it correctly renders the problem infeasible.)
-    if (terms.empty() && inputs.lambda(t, j) <= 0.0) continue;
-    out.gamma_row[j] = add_row(std::move(terms), -inputs.lambda(t, j));
+    if (terms.empty() && in.lambda(j) <= 0.0) continue;
+    out.gamma_row[j] = add_row(std::move(terms), -in.lambda(j));
   }
   // (3d): for each i, sum of x over edges NOT incident to i must cover
   // total demand minus C_i (when positive).
@@ -323,7 +321,7 @@ P2Constraints build_constraints(const Instance& inst, const InputSeries& inputs,
   // lambda_j - B_e (when positive).
   for (std::size_t e = 0; e < E; ++e) {
     const std::size_t j = inst.edges[e].tier1;
-    const double rhs = inputs.lambda(t, j) - inst.edge_capacity[e];
+    const double rhs = in.lambda(j) - inst.edge_capacity[e];
     if (rhs <= 0.0) continue;
     std::vector<std::pair<std::size_t, double>> terms;
     for (const std::size_t e2 : inst.edges_of_tier1[j])
@@ -426,11 +424,28 @@ void extract_primal(const Layout& layout, const solver::IpmResult& result,
   out.newton_steps = result.newton_steps;
 }
 
+// Strictly feasible interior point for the slot polyhedron (shared by the
+// dense path and the public test hook).
+Vec strictly_feasible_point(const Instance& inst, const SlotInputs& in) {
+  const Layout layout = layout_for(inst);
+  Vec v;
+  even_split_start_into(inst, in, layout, v);
+
+  const P2Constraints cons = build_constraints(inst, in);
+  const Vec gx = cons.g.multiply(v);
+  double min_slack = kInf;
+  for (std::size_t r = 0; r < cons.h.size(); ++r)
+    min_slack = std::min(min_slack, cons.h[r] - gx[r]);
+  if (min_slack > 0.0) return v;
+
+  SORA_LOG_DEBUG << "p2: even-split start infeasible (slack " << min_slack
+                 << "); falling back to phase-I LP";
+  return phase1_feasible_point(cons.g, cons.h, layout.size());
+}
+
 // The dense reference path: rebuild constraints, cold-start, dense barrier.
-P2Solution solve_p2_dense(const Instance& inst, const InputSeries& inputs,
-                          std::size_t t, const Allocation& prev,
-                          const RoaOptions& options) {
-  SORA_CHECK(t < inst.horizon);
+P2Solution solve_p2_dense(const Instance& inst, const SlotInputs& in,
+                          const Allocation& prev, const RoaOptions& options) {
   SORA_CHECK(prev.x.size() == inst.num_edges());
   const Layout layout = layout_for(inst);
 
@@ -442,9 +457,9 @@ P2Solution solve_p2_dense(const Instance& inst, const InputSeries& inputs,
   {
     SORA_TRACE_SPAN("p2/build");
     util::ScopedTimer build_timer(&build_seconds);
-    objective.emplace(inst, inputs, t, prev, options);
-    cons = build_constraints(inst, inputs, t);
-    start = p2_strictly_feasible_point(inst, inputs, t);
+    objective.emplace(inst, in, prev, options);
+    cons = build_constraints(inst, in);
+    start = strictly_feasible_point(inst, in);
   }
 
   solver::IpmResult result;
@@ -454,9 +469,9 @@ P2Solution solve_p2_dense(const Instance& inst, const InputSeries& inputs,
     result =
         solver::solve_barrier(*objective, cons.g, cons.h, start, options.ipm);
   }
-  SORA_CHECK_MSG(result.ok(),
-                 "P2 barrier solve failed at t=" + std::to_string(t) + ": " +
-                     result.detail);
+  SORA_CHECK_MSG(result.ok(), "P2 barrier solve failed at t=" +
+                                  std::to_string(in.slot) + ": " +
+                                  result.detail);
 
   P2Solution out;
   extract_primal(layout, result, out);
@@ -524,18 +539,17 @@ class SparseP2Objective final : public solver::ConvexObjective {
   }
 
   /// Patch the per-slot state (prices and the previous decision) in place.
-  void begin_slot(const InputSeries& inputs, std::size_t t,
-                  const Allocation& prev) {
+  void begin_slot(const SlotInputs& in, const Allocation& prev) {
     const std::size_t E = layout_.num_edges;
     for (std::size_t e = 0; e < E; ++e)
-      price_x_[e] = inputs.price(t, inst_.edges[e].tier2);
+      price_x_[e] = in.price(inst_.edges[e].tier2);
     std::fill(prev_totals_.begin(), prev_totals_.end(), 0.0);
     for (std::size_t e = 0; e < E; ++e)
       prev_totals_[inst_.edges[e].tier2] += prev.x[e];
     prev_y_ = prev.y;
     if (layout_.with_z) {
       for (std::size_t e = 0; e < E; ++e)
-        price_z_[e] = inst_.tier1_price[t][inst_.edges[e].tier1];
+        price_z_[e] = in.t1_price(inst_.edges[e].tier1);
       std::fill(prev_t1_totals_.begin(), prev_t1_totals_.end(), 0.0);
       for (std::size_t e = 0; e < E; ++e)
         prev_t1_totals_[inst_.edges[e].tier1] += prev.z[e];
@@ -857,13 +871,13 @@ struct P2Workspace::Impl {
     for (std::size_t k = offs[row]; k < offs[row + 1]; ++k) vals[k] = value;
   }
 
-  void patch_slot(const InputSeries& inputs, std::size_t t) {
+  void patch_slot(const SlotInputs& in) {
     h = h_static;
     double total_demand = 0.0;
     for (std::size_t j = 0; j < inst.num_tier1(); ++j)
-      total_demand += inputs.lambda(t, j);
+      total_demand += in.lambda(j);
     for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
-      const double lambda = inputs.lambda(t, j);
+      const double lambda = in.lambda(j);
       // An edgeless cloud's (3c) row is empty; with zero demand pad it to
       // the inert 0 <= 1 (a vacuous 0 <= 0 has no strict interior), with
       // positive demand keep 0 <= -lambda so infeasibility surfaces.
@@ -879,7 +893,7 @@ struct P2Workspace::Impl {
     }
     for (std::size_t e = 0; e < layout.num_edges; ++e) {
       const std::size_t j = inst.edges[e].tier1;
-      const double rhs = inputs.lambda(t, j) - inst.edge_capacity[e];
+      const double rhs = in.lambda(j) - inst.edge_capacity[e];
       const bool active = rhs > 0.0;
       theta_active[e] = active ? 1 : 0;
       patch_row_values(theta_row[e], active ? -1.0 : 0.0);
@@ -897,8 +911,8 @@ struct P2Workspace::Impl {
 
   // Choose the starting point: the previous optimum pulled into the strict
   // interior when warm starting, else the even-split anchor, else phase-I.
-  bool compute_start(const InputSeries& inputs, std::size_t t) {
-    even_split_start_into(inst, inputs, t, layout, anchor);
+  bool compute_start(const SlotInputs& in) {
+    even_split_start_into(inst, in, layout, anchor);
     if (options.warm_start && has_last) {
       // Slack is affine, so slack(blend) = (1-a) slack(last) + a
       // slack(anchor): escalating a trades proximity for interior margin.
@@ -966,19 +980,19 @@ struct P2Workspace::Impl {
   // surrogate of the reconfiguration cost (u >= increase of the regularized
   // aggregates) over the SAME patched polyhedron G v <= h. Keeps the slot
   // decision near-optimal for P1 even though the entropic terms are dropped.
-  bool solve_lp_surrogate(const InputSeries& inputs, std::size_t t,
-                          const Allocation& prev, P2Solution& out,
-                          SolveOutcome& outcome, std::size_t& attempt) {
+  bool solve_lp_surrogate(const SlotInputs& in, const Allocation& prev,
+                          P2Solution& out, SolveOutcome& outcome,
+                          std::size_t& attempt) {
     const std::size_t E = layout.num_edges;
     solver::LpBuilder b;
     for (std::size_t e = 0; e < E; ++e)
-      b.add_variable(0.0, kInf, inputs.price(t, inst.edges[e].tier2));
+      b.add_variable(0.0, kInf, in.price(inst.edges[e].tier2));
     for (std::size_t e = 0; e < E; ++e)
       b.add_variable(0.0, kInf, inst.edge_price[e]);
     for (std::size_t e = 0; e < E; ++e) b.add_variable(0.0, kInf, 0.0);
     if (layout.with_z)
       for (std::size_t e = 0; e < E; ++e)
-        b.add_variable(0.0, kInf, inst.tier1_price[t][inst.edges[e].tier1]);
+        b.add_variable(0.0, kInf, in.t1_price(inst.edges[e].tier1));
     // Reconfiguration surrogate: u >= (new aggregate) - (previous aggregate),
     // charged at the paper's switching prices b_i / d_e / b'_j.
     const Vec prev_x_totals = tier2_totals(inst, prev.x);
@@ -1019,7 +1033,7 @@ struct P2Workspace::Impl {
 
     SolveOutcome lp_outcome;
     const solver::LpSolution sol = solve_lp_with_fallback(
-        b.build(), solver::LpSolveOptions{}, &lp_outcome, t, attempt);
+        b.build(), solver::LpSolveOptions{}, &lp_outcome, in.slot, attempt);
     attempt += lp_outcome.attempts;
     if (!lp_outcome.detail.empty()) {
       if (!outcome.detail.empty()) outcome.detail += "; ";
@@ -1041,9 +1055,9 @@ struct P2Workspace::Impl {
   // push the cheapest additive repair (dx, dy, ds[, dz] >= 0) mirroring the
   // feasibility-transfer construction of (3d)/(3e). Never fault-injected:
   // this is the terminal stage of the chain.
-  bool hold_and_repair(const InputSeries& inputs, std::size_t t,
-                       const Allocation& prev, P2Solution& out,
-                       SolveOutcome& outcome, std::size_t& attempt) {
+  bool hold_and_repair(const SlotInputs& in, const Allocation& prev,
+                       P2Solution& out, SolveOutcome& outcome,
+                       std::size_t& attempt) {
     const std::size_t E = layout.num_edges;
     ++attempt;
     Vec held(layout.size(), 0.0);
@@ -1061,7 +1075,7 @@ struct P2Workspace::Impl {
       double served = 0.0;
       for (const std::size_t e : inst.edges_of_tier1[j])
         served += held[layout.s(e)];
-      residual[j] = std::max(0.0, inputs.lambda(t, j) - served);
+      residual[j] = std::max(0.0, in.lambda(j) - served);
       needs_repair = needs_repair || residual[j] > 1e-12;
     }
 
@@ -1074,7 +1088,7 @@ struct P2Workspace::Impl {
         const std::size_t i = inst.edges[e].tier2;
         dx[e] = b.add_variable(
             0.0, kInf,
-            inputs.price(t, i) + inst.tier2_reconfig[i]);
+            in.price(i) + inst.tier2_reconfig[i]);
         dy[e] = b.add_variable(
             0.0, std::max(0.0, inst.edge_capacity[e] - held[layout.y(e)]),
             inst.edge_price[e] + inst.edge_reconfig[e]);
@@ -1083,7 +1097,7 @@ struct P2Workspace::Impl {
           const std::size_t j = inst.edges[e].tier1;
           dz[e] = b.add_variable(
               0.0, kInf,
-              inst.tier1_price[t][j] + inst.tier1_reconfig[j]);
+              in.t1_price(j) + inst.tier1_reconfig[j]);
         }
       }
       for (std::size_t j = 0; j < inst.num_tier1(); ++j) {
@@ -1159,21 +1173,20 @@ struct P2Workspace::Impl {
   // interfere, demote non-finite answers, and on success adopt the point
   // into the workspace (true-objective evaluation + monolithic warm-start
   // state) along with the block-recovered multipliers.
-  bool try_decomposed(const InputSeries& inputs, std::size_t t,
-                      const Allocation& prev, P2Solution& out,
-                      SolveOutcome& outcome, std::size_t& attempt,
-                      double& barrier_seconds) {
+  bool try_decomposed(const SlotInputs& in, const Allocation& prev,
+                      P2Solution& out, SolveOutcome& outcome,
+                      std::size_t& attempt, double& barrier_seconds) {
     DecomposedResult dres;
     std::string fail;
     bool ok;
     {
       SORA_TRACE_SPAN("p2/decomposed");
       util::ScopedTimer solve_timer(&barrier_seconds);
-      ok = decomposed->solve(inputs, t, prev, dres, fail);
+      ok = decomposed->solve(in, prev, dres, fail);
     }
     solver::SolveStatus status = ok ? solver::SolveStatus::kOptimal
                                     : solver::SolveStatus::kNumericalError;
-    apply_fault(consult_fault_hook(t, attempt), status, dres.packed);
+    apply_fault(consult_fault_hook(in.slot, attempt), status, dres.packed);
     if (status == solver::SolveStatus::kOptimal &&
         !all_finite(dres.packed)) {
       status = solver::SolveStatus::kNumericalError;
@@ -1206,15 +1219,18 @@ struct P2Workspace::Impl {
     return true;
   }
 
-  P2Solution solve(const InputSeries& inputs, std::size_t t,
-                   const Allocation& prev) {
-    SORA_CHECK(t < inst.horizon);
+  P2Solution step(const SlotInputs& in, const Allocation& prev) {
     SORA_CHECK(prev.x.size() == inst.num_edges());
+    SORA_CHECK(in.demand != nullptr && in.demand->size() == inst.num_tier1());
+    SORA_CHECK(in.tier2_price != nullptr &&
+               in.tier2_price->size() == inst.num_tier2());
+    SORA_CHECK(!layout.with_z || (in.tier1_price != nullptr &&
+                                  in.tier1_price->size() == inst.num_tier1()));
 
     if (!options.use_sparse) {
       // The dense reference path (always cold-started, fail-fast: it is the
       // cross-validation oracle, so masking its failures would be a bug).
-      return solve_p2_dense(inst, inputs, t, prev, options);
+      return solve_p2_dense(inst, in, prev, options);
     }
 
     double build_seconds = 0.0;
@@ -1224,8 +1240,8 @@ struct P2Workspace::Impl {
     {
       SORA_TRACE_SPAN("p2/build");
       util::ScopedTimer build_timer(&build_seconds);
-      patch_slot(inputs, t);
-      objective.begin_slot(inputs, t, prev);
+      patch_slot(in);
+      objective.begin_slot(in, prev);
     }
 
     const ResilienceOptions& res = options.resilience;
@@ -1239,11 +1255,10 @@ struct P2Workspace::Impl {
     bool decomposed_solved = false;
     if (decomposed != nullptr) {
       decomposed_solved =
-          try_decomposed(inputs, t, prev, out, outcome, attempt,
-                         barrier_seconds);
+          try_decomposed(in, prev, out, outcome, attempt, barrier_seconds);
       if (!decomposed_solved)
-        SORA_LOG_WARN << "p2: decomposed solve failed at t=" << t << " ("
-                      << outcome.detail << "); demoting to monolithic";
+        SORA_LOG_WARN << "p2: decomposed solve failed at t=" << in.slot
+                      << " (" << outcome.detail << "); demoting to monolithic";
     }
 
     if (decomposed_solved) {
@@ -1261,7 +1276,7 @@ struct P2Workspace::Impl {
     {
       SORA_TRACE_SPAN("p2/start");
       util::ScopedTimer build_timer(&build_seconds);
-      warm = compute_start(inputs, t);
+      warm = compute_start(in);
       if (warm) {
         // Near-optimal starts waste outer iterations re-centering at small
         // t: jump the barrier multiplier so the first center is already
@@ -1280,7 +1295,8 @@ struct P2Workspace::Impl {
         util::ScopedTimer solve_timer(&barrier_seconds);
         result = solver::solve_barrier(objective, g, h, x0, o, &scratch);
       }
-      apply_fault(consult_fault_hook(t, attempt), result.status, result.x);
+      apply_fault(consult_fault_hook(in.slot, attempt), result.status,
+                  result.x);
       if (result.ok() && !all_finite(result.x)) {
         result.status = solver::SolveStatus::kNumericalError;
         result.detail += result.detail.empty() ? "non-finite solution"
@@ -1305,10 +1321,11 @@ struct P2Workspace::Impl {
 
     if (!solved && !res.enabled)
       SORA_CHECK_MSG(false, "P2 barrier solve failed at t=" +
-                                std::to_string(t) + ": " + outcome.detail);
+                                std::to_string(in.slot) + ": " +
+                                outcome.detail);
 
     if (!solved) {
-      SORA_LOG_WARN << "p2: barrier failed at t=" << t << " ("
+      SORA_LOG_WARN << "p2: barrier failed at t=" << in.slot << " ("
                     << outcome.detail << "); entering fallback chain";
       if (res.allow_cold_restart && warm)
         solved = barrier_attempt(cold_start_point(), options.ipm,
@@ -1352,9 +1369,9 @@ struct P2Workspace::Impl {
     } else {
       util::ScopedTimer fallback_timer(&barrier_seconds);
       if (res.allow_lp_fallback)
-        solved = solve_lp_surrogate(inputs, t, prev, out, outcome, attempt);
+        solved = solve_lp_surrogate(in, prev, out, outcome, attempt);
       if (!solved && res.allow_degradation)
-        solved = hold_and_repair(inputs, t, prev, out, outcome, attempt);
+        solved = hold_and_repair(in, prev, out, outcome, attempt);
     }
 
     outcome.attempts = attempt;
@@ -1369,15 +1386,58 @@ struct P2Workspace::Impl {
       out.outcome = outcome;
       if (res.throw_on_exhaustion)
         SORA_CHECK_MSG(false, "P2 fallback chain exhausted at t=" +
-                                  std::to_string(t) + ": " + outcome.detail);
-      SORA_LOG_ERROR << "p2: fallback chain exhausted at t=" << t << " ("
-                     << outcome.detail << "); holding previous decision";
+                                  std::to_string(in.slot) + ": " +
+                                  outcome.detail);
+      SORA_LOG_ERROR << "p2: fallback chain exhausted at t=" << in.slot
+                     << " (" << outcome.detail
+                     << "); holding previous decision";
     }
 
     out.timing.build_seconds = build_seconds;
     out.timing.solve_seconds = barrier_seconds;
     out.timing.newton_steps = out.newton_steps;
     out.timing.warm_started = warm;
+    observe_p2_timing(out.timing);
+    return out;
+  }
+
+  // Deadline-miss entry: skip every solve stage and go straight to the
+  // terminal hold-and-repair degradation. Used by the serving daemon when a
+  // slot's solve lands after the budget — the late answer is discarded and
+  // the held (repaired) decision published instead. Never throws: a failed
+  // repair falls back to holding x_{t-1} verbatim with a failure outcome.
+  P2Solution degrade(const SlotInputs& in, const Allocation& prev) {
+    SORA_CHECK(prev.x.size() == inst.num_edges());
+    double build_seconds = 0.0;
+    double repair_seconds = 0.0;
+    P2Solution out;
+    SolveOutcome outcome;
+    std::size_t attempt = 0;
+    {
+      SORA_TRACE_SPAN("p2/build");
+      util::ScopedTimer build_timer(&build_seconds);
+      patch_slot(in);
+      objective.begin_slot(in, prev);
+    }
+    bool solved;
+    {
+      SORA_TRACE_SPAN("p2/degrade");
+      util::ScopedTimer repair_timer(&repair_seconds);
+      solved = hold_and_repair(in, prev, out, outcome, attempt);
+    }
+    if (!solved) {
+      fill_from_point_held(prev, out);
+      zero_duals(out);
+      SORA_LOG_ERROR << "p2: degrade repair failed at t=" << in.slot << " ("
+                     << outcome.detail << "); holding previous decision";
+    }
+    outcome.attempts = attempt;
+    out.outcome = outcome;
+    observe_outcome(outcome);
+    out.timing.build_seconds = build_seconds;
+    out.timing.solve_seconds = repair_seconds;
+    out.timing.newton_steps = 0;
+    out.timing.warm_started = false;
     observe_p2_timing(out.timing);
     return out;
   }
@@ -1406,7 +1466,16 @@ P2Workspace::~P2Workspace() = default;
 
 P2Solution P2Workspace::solve(const InputSeries& inputs, std::size_t t,
                               const Allocation& prev) {
-  return impl_->solve(inputs, t, prev);
+  SORA_CHECK(t < impl_->inst.horizon);
+  return impl_->step(SlotInputs::at(impl_->inst, inputs, t), prev);
+}
+
+P2Solution P2Workspace::step(const SlotInputs& in, const Allocation& prev) {
+  return impl_->step(in, prev);
+}
+
+P2Solution P2Workspace::degrade(const SlotInputs& in, const Allocation& prev) {
+  return impl_->degrade(in, prev);
 }
 
 void P2Workspace::reset_warm_start() {
@@ -1414,31 +1483,40 @@ void P2Workspace::reset_warm_start() {
   if (impl_->decomposed != nullptr) impl_->decomposed->reset_warm_start();
 }
 
+bool P2Workspace::export_warm_start(Vec& out) const {
+  if (!impl_->has_last) return false;
+  out = impl_->last_opt;
+  return true;
+}
+
+bool P2Workspace::import_warm_start(const Vec& state) {
+  if (state.size() != impl_->layout.size()) {
+    reset_warm_start();
+    return false;
+  }
+  impl_->last_opt = state;
+  impl_->has_last = true;
+  // The decomposed path keeps its own per-block warm state, which a
+  // snapshot does not capture — drop it so a restored workspace behaves
+  // like a deterministic function of (last_opt, prev).
+  if (impl_->decomposed != nullptr) impl_->decomposed->reset_warm_start();
+  return true;
+}
+
 const RoaOptions& P2Workspace::options() const { return impl_->options; }
 
 Vec p2_strictly_feasible_point(const Instance& inst, const InputSeries& inputs,
                                std::size_t t) {
-  const Layout layout = layout_for(inst);
-  Vec v;
-  even_split_start_into(inst, inputs, t, layout, v);
-
-  const P2Constraints cons = build_constraints(inst, inputs, t);
-  const Vec gx = cons.g.multiply(v);
-  double min_slack = kInf;
-  for (std::size_t r = 0; r < cons.h.size(); ++r)
-    min_slack = std::min(min_slack, cons.h[r] - gx[r]);
-  if (min_slack > 0.0) return v;
-
-  SORA_LOG_DEBUG << "p2: even-split start infeasible (slack " << min_slack
-                 << "); falling back to phase-I LP";
-  return phase1_feasible_point(cons.g, cons.h, layout.size());
+  return strictly_feasible_point(inst, SlotInputs::at(inst, inputs, t));
 }
 
 P2Solution solve_p2(const Instance& inst, const InputSeries& inputs,
                     std::size_t t, const Allocation& prev,
                     const RoaOptions& options) {
+  SORA_CHECK(t < inst.horizon);
   if (!options.use_sparse)
-    return solve_p2_dense(inst, inputs, t, prev, options);
+    return solve_p2_dense(inst, SlotInputs::at(inst, inputs, t), prev,
+                          options);
   P2Workspace workspace(inst, options);
   return workspace.solve(inputs, t, prev);
 }

@@ -122,13 +122,35 @@ class P2Workspace {
   P2Workspace& operator=(const P2Workspace&) = delete;
 
   /// Solve P2(t) given the previous slot's decision. Throws CheckError when
-  /// the instance is infeasible at slot t.
+  /// the instance is infeasible at slot t. Batch wrapper over step():
+  /// requires t < inst.horizon.
   P2Solution solve(const InputSeries& inputs, std::size_t t,
                    const Allocation& prev);
+
+  /// Re-entrant streaming entry point: solve one slot from raw per-slot
+  /// rows. `in.slot` is attribution only (fault hooks, error messages) —
+  /// nothing indexes the instance horizon, so a daemon can run forever.
+  /// All per-slot state (RHS patch, objective prices, start point) is fully
+  /// rewritten on entry; no heap allocation in the Newton loop.
+  P2Solution step(const SlotInputs& in, const Allocation& prev);
+
+  /// Route a slot straight to the terminal hold-x_{t-1}-and-repair
+  /// degradation (the live deadline-miss path): no barrier attempt, just
+  /// the cheapest coverage repair on top of the held decision. Never
+  /// throws on repair failure — the outcome reports it.
+  P2Solution degrade(const SlotInputs& in, const Allocation& prev);
 
   /// Forget the previous optimum: the next solve cold-starts. Use when the
   /// chain is broken (e.g. re-planning from a different state).
   void reset_warm_start();
+
+  /// Snapshot/restore of the warm-start state (the packed [x|y|s|z]
+  /// previous optimum). export_warm_start returns false when the workspace
+  /// is cold (nothing to save); import_warm_start returns false (and leaves
+  /// the workspace cold) when the vector's size does not match the
+  /// instance's variable layout.
+  bool export_warm_start(Vec& out) const;
+  bool import_warm_start(const Vec& state);
 
   const RoaOptions& options() const;
 

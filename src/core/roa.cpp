@@ -73,7 +73,9 @@ RoaRun run_roa_with_inputs(const Instance& inst, const InputSeries& inputs,
     for (std::size_t t = 0; t < inst.horizon; ++t) {
       SORA_TRACE_SPAN("roa/slot");
       util::Timer slot_timer;
-      P2Solution p2 = workspace.solve(inputs, t, prev);
+      // The batch loop drives the same re-entrant streaming entry point as
+      // the serving daemon: one SlotInputs row view per slot.
+      P2Solution p2 = workspace.step(SlotInputs::at(inst, inputs, t), prev);
       const double slot_seconds = slot_timer.seconds();
       slo.record(to_slot_sample(p2.outcome, slot_seconds));
       record_flight("p2_slot", t, p2.outcome, slot_seconds);

@@ -71,8 +71,18 @@ void configure_from_env() {
     if (env[0] != '\0') FlightRecorder::global().set_incident_dir(env);
   }
   if (const char* env = std::getenv("SORA_METRICS_PORT")) {
-    const long port = std::atol(env);
-    if (port > 0 && port <= 65535 && !ScrapeServer::global().running()) {
+    // Strict parse: atol would fold "abc" (and "8080 oops") into 0, which
+    // is a VALID port request (0 = ephemeral, the documented contract for
+    // collision-free test runs) — so unparseable values must be rejected
+    // loudly, not silently bound to a random port.
+    char* end = nullptr;
+    const long port = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || port < 0 || port > 65535) {
+      std::fprintf(stderr,
+                   "[warn] sora_obs: ignoring unparseable SORA_METRICS_PORT="
+                   "\"%s\" (want 0..65535; 0 = ephemeral)\n",
+                   env);
+    } else if (!ScrapeServer::global().running()) {
       set_metrics_enabled(true);  // a scrape of dead counters helps nobody
       start_global_scrape_server(static_cast<int>(port));
     }

@@ -12,7 +12,9 @@
 //   SORA_TRACE=<file>           enable AND export Chrome trace JSON at exit
 //   SORA_TRACE_MAX_EVENTS=N     per-thread span cap (default 65536)
 //   SORA_METRICS_PORT=<port>    enable metrics AND serve GET /metrics on
-//                               127.0.0.1:<port> (live Prometheus scrape)
+//                               127.0.0.1:<port> (live Prometheus scrape;
+//                               0 = ephemeral port, logged at startup;
+//                               unparseable values warn and are ignored)
 //   SORA_SLOT_BUDGET_MS=<ms>    default per-slot deadline budget for the
 //                               slot-SLO layer (see obs/slo.hpp)
 //   SORA_INCIDENT_DIR=<dir>     write flight-recorder incident JSONs here

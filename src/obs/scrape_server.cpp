@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "obs/metrics.hpp"
@@ -64,10 +65,14 @@ std::string read_request_line(int fd) {
 }
 
 void handle_connection(int fd) {
-  // Bound a stuck client; the loop must get back to accept().
+  // Bound a stuck client in BOTH directions; the loop must get back to
+  // accept(). Without SO_SNDTIMEO a connected peer that never reads (zero
+  // receive window) parks send() forever, wedging the single accept thread
+  // and hanging stop()'s join.
   timeval tv{};
   tv.tv_sec = 2;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 
   const std::string line = read_request_line(fd);
   std::string response;
@@ -76,9 +81,12 @@ void handle_connection(int fd) {
                              "method not allowed\n");
   } else {
     const std::size_t path_end = line.find(' ', 4);
-    const std::string path = line.substr(4, path_end == std::string::npos
-                                                ? std::string::npos
-                                                : path_end - 4);
+    std::string path = line.substr(4, path_end == std::string::npos
+                                          ? std::string::npos
+                                          : path_end - 4);
+    // Scrapers may append query strings (?query=..., federation match[]
+    // params); route on the bare path.
+    path = path.substr(0, path.find('?'));
     if (path == "/metrics") {
       response = http_response("200 OK", kTextContentType,
                                Registry::global().render_text());
@@ -90,7 +98,6 @@ void handle_connection(int fd) {
     }
   }
   send_all(fd, response);
-  ::close(fd);
 }
 
 }  // namespace
@@ -100,6 +107,11 @@ struct ScrapeServer::Impl {
   int listen_fd = -1;
   int port = -1;
   std::thread thread;
+  // The connection currently being served, so stop() can shut it down and
+  // unblock a send()/recv() in flight. Guarded by client_mutex; -1 when the
+  // loop is parked in accept().
+  std::mutex client_mutex;
+  int client_fd = -1;
 
   void accept_loop() {
     while (running.load(std::memory_order_acquire)) {
@@ -108,7 +120,16 @@ struct ScrapeServer::Impl {
         if (errno == EINTR) continue;
         break;  // listener shut down (stop()) or broken
       }
+      {
+        std::lock_guard<std::mutex> lock(client_mutex);
+        client_fd = fd;
+      }
       handle_connection(fd);
+      {
+        std::lock_guard<std::mutex> lock(client_mutex);
+        ::close(client_fd);
+        client_fd = -1;
+      }
     }
   }
 };
@@ -127,8 +148,10 @@ ScrapeServer& ScrapeServer::global() {
 
 int ScrapeServer::start(int port) {
   Impl& im = *impl_;
-  if (im.running.load(std::memory_order_acquire)) return -1;
+  if (im.running.load(std::memory_order_acquire)) return kAlreadyRunning;
   if (port < 0 || port > 65535) return -1;
+  // A previous run's thread may still need reaping after stop().
+  if (im.thread.joinable()) im.thread.join();
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
@@ -163,6 +186,13 @@ void ScrapeServer::stop() {
   // shutdown() wakes the blocked accept(); close() alone may not.
   ::shutdown(im.listen_fd, SHUT_RDWR);
   ::close(im.listen_fd);
+  // Likewise unwedge any in-flight connection so the join below is bounded
+  // even when the client never drains its receive buffer. The loop owns
+  // close(); stop() only shuts the socket down.
+  {
+    std::lock_guard<std::mutex> lock(im.client_mutex);
+    if (im.client_fd >= 0) ::shutdown(im.client_fd, SHUT_RDWR);
+  }
   if (im.thread.joinable()) im.thread.join();
   im.listen_fd = -1;
   im.port = -1;
@@ -177,7 +207,16 @@ int ScrapeServer::port() const {
 }
 
 int start_global_scrape_server(int port) {
-  const int bound = ScrapeServer::global().start(port);
+  ScrapeServer& server = ScrapeServer::global();
+  const int bound = server.start(port);
+  if (bound == ScrapeServer::kAlreadyRunning) {
+    // Two wiring paths (env contract + an explicit --metrics-port) may both
+    // ask for the server; the first one wins and that is fine.
+    std::fprintf(stderr,
+                 "[info] sora_obs: scrape server already on 127.0.0.1:%d\n",
+                 server.port());
+    return server.port();
+  }
   if (bound < 0) {
     std::fprintf(stderr,
                  "[warn] sora_obs: scrape server failed to bind port %d\n",

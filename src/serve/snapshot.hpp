@@ -1,0 +1,75 @@
+// Versioned binary snapshots of the sora_serve daemon state.
+//
+// A snapshot captures everything the slot-solve chain depends on across
+// slots: the next slot index, the previous decision x_{t-1}, the
+// P2Workspace warm-start vector (the packed [x|y|s|z] previous optimum),
+// and the running cost/health counters. Restoring it into a daemon built
+// from the SAME instance resumes the trace with bit-identical
+// continuation — per-slot state (constraint RHS, objective prices, start
+// point) is fully rewritten each slot, so this vector is the only carried
+// state.
+//
+// On-disk format (little-endian, doubles as raw IEEE-754 bytes):
+//   char[8]  magic "SORASNAP"
+//   u32      version (kSnapshotVersion)
+//   u32      flags (bit 0: warm-start vector present)
+//   u64      next_slot, num_tier1, num_tier2, num_edges, warm_size
+//   f64      cost.allocation, cost.reconfiguration
+//   u64      slots, degraded_slots, fallback_slots, deadline_misses
+//   f64[E]   prev.x, then prev.y, then prev.z
+//   f64[W]   warm-start vector (warm_size entries; 0 when cold)
+//   u64      FNV-1a checksum of every preceding byte
+//
+// Writes are atomic: serialize to <path>.tmp, flush, then rename(2) over
+// <path>. A crash between write and rename leaves the previous snapshot
+// intact (covered by test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace sora::serve {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct ServeSnapshot {
+  std::size_t next_slot = 0;
+  // Structure guard: restore refuses a snapshot whose topology dimensions
+  // disagree with the daemon's instance.
+  std::size_t num_tier1 = 0;
+  std::size_t num_tier2 = 0;
+  std::size_t num_edges = 0;
+
+  core::Allocation prev;      // x_{t-1}
+  bool has_warm = false;      // workspace had a previous optimum
+  core::Vec warm;             // packed [x|y|s|z] warm-start state
+
+  core::CostBreakdown cost;   // running totals over served slots
+  std::uint64_t slots = 0;
+  std::uint64_t degraded_slots = 0;
+  std::uint64_t fallback_slots = 0;
+  std::uint64_t deadline_misses = 0;
+};
+
+/// Serialize to the on-disk byte layout (exposed for the atomicity tests).
+std::string encode_snapshot(const ServeSnapshot& snap);
+
+/// Decode bytes; returns false (with a reason) on bad magic, version,
+/// checksum, or truncation.
+bool decode_snapshot(const std::string& bytes, ServeSnapshot& out,
+                     std::string* error = nullptr);
+
+/// Atomic write: <path>.tmp + rename. Returns false with a reason on any
+/// I/O failure; the previous snapshot at <path> survives every failure
+/// mode short of the final rename.
+bool write_snapshot(const std::string& path, const ServeSnapshot& snap,
+                    std::string* error = nullptr);
+
+/// Load + decode. Returns false with a reason when the file is missing,
+/// unreadable, or fails validation.
+bool read_snapshot(const std::string& path, ServeSnapshot& out,
+                   std::string* error = nullptr);
+
+}  // namespace sora::serve

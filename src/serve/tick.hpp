@@ -1,0 +1,49 @@
+// Wire format for sora_serve workload ticks.
+//
+// One line per frame, whitespace-separated ASCII (easy to generate from any
+// log shipper and to replay from a file):
+//
+//   tick <slot> <r_0> <r_1> ... <r_{J-1}>      dense: one request count per
+//                                              tier-1 site, J values exactly
+//   tick <slot> <j>:<requests> [...]           sparse: only nonzero sites;
+//                                              omitted sites read as 0
+//   snapshot                                   force a snapshot now
+//   quit                                       drain and exit gracefully
+//   # comment / blank line                     ignored
+//
+// Request counts are nonnegative reals (aggregators may ship fractional
+// EWMA counts); the daemon divides by --requests-per-unit to get the
+// paper's lambda_jt. See docs/SERVING.md for the full contract.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sora::serve {
+
+struct Tick {
+  enum class Kind {
+    kTick,      // a workload frame: slot + per-site request counts
+    kSnapshot,  // operator command: snapshot now
+    kQuit,      // operator command: graceful shutdown
+    kIgnore,    // blank line or comment
+  };
+  Kind kind = Kind::kIgnore;
+  std::size_t slot = 0;
+  std::vector<double> requests;  // [J], dense (sparse input is expanded)
+};
+
+/// Parse one wire line. Returns false on malformed input, with a
+/// human-readable reason in *error (never throws). num_sites is the
+/// instance's J: dense frames must carry exactly that many counts, sparse
+/// site indices must stay below it.
+bool parse_tick_line(const std::string& line, std::size_t num_sites, Tick& out,
+                     std::string* error = nullptr);
+
+/// Render a dense tick line (the inverse of parse_tick_line, used by
+/// --emit-ticks and tests). Counts print with enough digits to round-trip.
+std::string format_tick_line(std::size_t slot,
+                             const std::vector<double>& requests);
+
+}  // namespace sora::serve

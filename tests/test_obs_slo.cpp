@@ -244,7 +244,8 @@ TEST(ScrapeServerTest, DoubleStartFails) {
   ScrapeServer server;
   const int port = server.start(0);
   ASSERT_GT(port, 0);
-  EXPECT_EQ(server.start(0), -1);
+  // Distinguishable from a bind failure (-1): the server is simply occupied.
+  EXPECT_EQ(server.start(0), ScrapeServer::kAlreadyRunning);
   server.stop();
 }
 
