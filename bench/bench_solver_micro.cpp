@@ -12,6 +12,7 @@
 #include "linalg/sparse.hpp"
 #include "linalg/sparse_cholesky.hpp"
 #include "obs/slo.hpp"
+#include "solver/ipm.hpp"
 #include "solver/pdhg.hpp"
 #include "solver/simplex.hpp"
 #include "testing/fault_injection.hpp"
@@ -259,6 +260,154 @@ void BM_CholeskySparse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CholeskySparse)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// ---- Threaded sparse numeric factorization: the level-scheduled
+// left-looking kernel vs the serial up-looking sweep on the same analyzed
+// pattern. Random sparsity (not banded): a banded pattern's elimination
+// tree is a path, which gives level scheduling nothing to fan out, while a
+// random pattern's bushy etree is the shape the big Newton systems have
+// after RCM. Timed loop is numeric factor + solve only.
+
+linalg::SymSparse random_sparse_spd(std::size_t n, std::size_t nnz_per_row,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<linalg::Triplet> trips;
+  linalg::Vec mass(n, 0.0);
+  for (std::size_t r = 1; r < n; ++r)
+    for (std::size_t k = 0; k < nnz_per_row; ++k) {
+      const std::size_t c = rng.uniform_index(r);
+      const double v = rng.normal();
+      trips.push_back({r, c, v});
+      mass[r] += std::fabs(v);
+      mass[c] += std::fabs(v);
+    }
+  for (std::size_t j = 0; j < n; ++j)
+    trips.push_back({j, j, mass[j] + 1.0});
+  return linalg::SymSparse::from_lower_triplets(n, std::move(trips));
+}
+
+void run_cholesky_threaded(benchmark::State& state, bool threaded) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_sparse_spd(n, 4, 17);
+  linalg::SparseCholesky chol;
+  chol.set_threaded_min_dim(threaded ? 1 : n + 1);
+  chol.analyze(a);
+  linalg::Vec b(n, 1.0);
+  for (auto _ : state) {
+    chol.factor_regularized(a, 1e-12, 1e16);
+    linalg::Vec x = b;
+    chol.solve_in_place(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["fill_nnz"] = static_cast<double>(chol.factor_nonzeros());
+}
+
+void BM_CholeskyThreadedLevelSet(benchmark::State& state) {
+  run_cholesky_threaded(state, true);
+}
+BENCHMARK(BM_CholeskyThreadedLevelSet)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_CholeskyThreadedOffSerial(benchmark::State& state) {
+  run_cholesky_threaded(state, false);
+}
+BENCHMARK(BM_CholeskyThreadedOffSerial)->Arg(256)->Arg(512)->Arg(1024);
+
+// ---- Batched per-block barrier solves: a fleet of same-dimension dense
+// Newton systems (the decomposed P2's per-block subproblems, ~12 variables
+// each) through solver::solve_barrier_batch vs one serial solve_barrier per
+// block. The range argument is the fleet size (number of ADMM blocks).
+
+struct BlockQuadratic final : solver::ConvexObjective {
+  linalg::Vec target;
+  explicit BlockQuadratic(linalg::Vec t) : target(std::move(t)) {}
+  double value(const linalg::Vec& x) const override {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - target[i];
+      v += 0.5 * d * d;
+    }
+    return v;
+  }
+  linalg::Vec gradient(const linalg::Vec& x) const override {
+    linalg::Vec g(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) g[i] = x[i] - target[i];
+    return g;
+  }
+  linalg::Matrix hessian(const linalg::Vec& x) const override {
+    return linalg::Matrix::identity(x.size());
+  }
+};
+
+struct BlockFleet {
+  std::vector<BlockQuadratic> objectives;
+  std::vector<linalg::SparseMatrix> constraints;
+  std::vector<linalg::Vec> rhs;
+  linalg::Vec x0;
+};
+
+BlockFleet make_block_fleet(std::size_t blocks, std::size_t n,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  BlockFleet fleet;
+  // Shared constraint shape (box + one coupling row), distinct values and
+  // targets per block — the decomposed P2's fan-out in miniature.
+  for (std::size_t b = 0; b < blocks; ++b) {
+    linalg::Vec target(n);
+    for (auto& v : target) v = rng.uniform(0.2, 1.8);
+    fleet.objectives.emplace_back(std::move(target));
+    linalg::Matrix g(2 * n + 1, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      g(i, i) = 1.0;
+      g(n + i, i) = -1.0;
+      g(2 * n, i) = rng.uniform(0.5, 1.5);
+    }
+    fleet.constraints.push_back(linalg::SparseMatrix::from_dense(g));
+    linalg::Vec h(2 * n + 1, 2.0);
+    for (std::size_t i = 0; i < n; ++i) h[n + i] = 0.0;  // x >= 0
+    h[2 * n] = static_cast<double>(n);                   // coupling slack
+    fleet.rhs.push_back(std::move(h));
+  }
+  fleet.x0.assign(n, 0.5);
+  return fleet;
+}
+
+void BM_BatchedBlockSolveSequential(benchmark::State& state) {
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
+  const auto fleet = make_block_fleet(blocks, 12, 29);
+  std::vector<solver::IpmScratch> scratch(blocks);
+  for (auto _ : state) {
+    double obj = 0.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const auto r =
+          solver::solve_barrier(fleet.objectives[b], fleet.constraints[b],
+                                fleet.rhs[b], fleet.x0, {}, &scratch[b]);
+      obj += r.objective;
+    }
+    benchmark::DoNotOptimize(obj);
+  }
+}
+BENCHMARK(BM_BatchedBlockSolveSequential)->Arg(18)->Arg(64)->Arg(200);
+
+void BM_BatchedBlockSolveBatched(benchmark::State& state) {
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
+  const auto fleet = make_block_fleet(blocks, 12, 29);
+  std::vector<solver::IpmScratch> scratch(blocks);
+  std::vector<solver::BarrierBatchItem> items(blocks);
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      items[b].objective = &fleet.objectives[b];
+      items[b].g = &fleet.constraints[b];
+      items[b].h = &fleet.rhs[b];
+      items[b].x0 = &fleet.x0;
+      items[b].scratch = &scratch[b];
+    }
+    solver::solve_barrier_batch(items.data(), items.size());
+    double obj = 0.0;
+    for (const auto& item : items) obj += item.result.objective;
+    benchmark::DoNotOptimize(obj);
+  }
+}
+BENCHMARK(BM_BatchedBlockSolveBatched)->Arg(18)->Arg(64)->Arg(200);
 
 // G with ~8 nonzeros per constraint row, m = 2n rows — the shape of the P2
 // constraint blocks. Both kernels accumulate G^T diag(w) G into a dense

@@ -51,9 +51,25 @@ if [ "$build_type" != "release" ]; then
     "'release' — output moved to BENCH_solver.json.rejected" >&2
   exit 1
 fi
+# The google-benchmark library's own build type matters too: a debug
+# measurement loop inflates every number (the old BENCH_solver.json carried
+# `"library_build_type": "debug"` silently). Refuse to record such numbers
+# unless the caller explicitly opts in (SORA_ALLOW_DEBUG_GBENCH=1 — for
+# machines whose distro gbench package ships un-optimized and where the
+# relative comparisons are still wanted).
 lib_type="$(grep -o '"library_build_type": "[^"]*"' "$ROOT/BENCH_solver.json" \
   | head -n1 | cut -d'"' -f4)"
 if [ "$lib_type" != "release" ]; then
-  echo "WARNING: google-benchmark library itself was built as" \
-    "'${lib_type:-unknown}' — measurement-loop overhead may be inflated" >&2
+  if [ "${SORA_ALLOW_DEBUG_GBENCH:-0}" = "1" ]; then
+    echo "WARNING: google-benchmark library built as '${lib_type:-unknown}'" \
+      "— proceeding because SORA_ALLOW_DEBUG_GBENCH=1; measurement-loop" \
+      "overhead may be inflated" >&2
+  else
+    mv "$ROOT/BENCH_solver.json" "$ROOT/BENCH_solver.json.rejected"
+    echo "ERROR: google-benchmark library itself was built as" \
+      "'${lib_type:-unknown}', not 'release' — measurement-loop overhead" \
+      "would skew every number. Output moved to BENCH_solver.json.rejected." \
+      "Set SORA_ALLOW_DEBUG_GBENCH=1 to record anyway." >&2
+    exit 1
+  fi
 fi

@@ -37,16 +37,9 @@ int main(int argc, char** argv) {
 
   const auto roa = core::run_ntier_roa(inst);
   const auto greedy = core::run_ntier_greedy(inst);
-  // The multi-slot offline LP runs on the first-order solver; ratios only
-  // need a few digits, so accept a slightly stalled KKT tail. At the
-  // previous 2e-5 tolerance PDHG never reached acceptance on this routing
-  // LP (primal residual plateaus near 1e-2 relative) and the run fell into
-  // an hour-long simplex rescue; 1e-3 converges in seconds and moves the
-  // printed ratios by < 1e-4.
   solver::LpSolveOptions offline_lp;
   offline_lp.method = solver::LpMethod::kPdhg;
-  offline_lp.pdhg.eps_rel = 1e-3;
-  offline_lp.pdhg.accept_factor = 20.0;
+  offline_lp.pdhg.eps_rel = 2e-5;
   const auto offline = core::run_ntier_offline(inst, offline_lp);
 
   auto tier_total = [&](const core::NTierAllocation& a, std::size_t tier) {

@@ -476,53 +476,119 @@ struct P2DecomposedSolver::Impl {
     }
   }
 
-  // One barrier solve of block `b` with the current coupling surrogate
-  // already written into its objective. Never throws; failures are recorded
-  // in the block for the (serial) caller to inspect after the fan-out.
-  void solve_block(Block& b) {
+  solver::BlockSolveOptions block_solve_options() const {
     solver::BlockSolveOptions opts;
     opts.ipm = options.ipm;
     opts.warm_start = options.warm_start;
     opts.warm_start_pull = options.warm_start_pull;
+    return opts;
+  }
+
+  // Shared tail of the sequential and batched paths: accounting, failure
+  // capture, and acceptance of one block's barrier result.
+  void record_block_result(Block& b, const solver::IpmResult& result) {
+    if (obs::metrics_enabled()) admm_metrics().block_solves->inc();
+    b.newton_steps += result.newton_steps;
+    if (!result.ok()) {
+      b.failed = true;
+      b.fail_detail = "block " + std::to_string(b.j) + ": " +
+                      (result.detail.empty() ? solver::to_string(result.status)
+                                             : result.detail);
+      return;
+    }
+    for (const double v : result.x)
+      if (!std::isfinite(v)) {
+        b.failed = true;
+        b.fail_detail =
+            "block " + std::to_string(b.j) + ": non-finite solution";
+        return;
+      }
+    b.local = result.x;
+    b.ineq_dual = result.ineq_dual;
+  }
+
+  // One barrier solve of block `b` with the current coupling surrogate
+  // already written into its objective. Never throws; failures are recorded
+  // in the block for the (serial) caller to inspect after the fan-out.
+  void solve_block(Block& b) {
     try {
       SORA_TRACE_SPAN("admm/block");
       const solver::IpmResult result =
-          b.barrier.solve(*b.objective, b.anchor, opts);
-      if (obs::metrics_enabled()) admm_metrics().block_solves->inc();
-      b.newton_steps += result.newton_steps;
-      if (!result.ok()) {
-        b.failed = true;
-        b.fail_detail = "block " + std::to_string(b.j) + ": " +
-                        (result.detail.empty()
-                             ? solver::to_string(result.status)
-                             : result.detail);
-        return;
-      }
-      for (const double v : result.x)
-        if (!std::isfinite(v)) {
-          b.failed = true;
-          b.fail_detail =
-              "block " + std::to_string(b.j) + ": non-finite solution";
-          return;
-        }
-      b.local = result.x;
-      b.ineq_dual = result.ineq_dual;
+          b.barrier.solve(*b.objective, b.anchor, block_solve_options());
+      record_block_result(b, result);
     } catch (const std::exception& e) {
       b.failed = true;
       b.fail_detail = "block " + std::to_string(b.j) + ": " + e.what();
     }
   }
 
-  // Fan the block solves out (guided chunking: SLA groups vary a lot in
-  // size, so on-demand chunks keep the largest group from serializing the
-  // tail) or run them serially when max_parallel_blocks == 1.
+  // Batched fan-out: stage every block via BlockBarrier::prepare, run the
+  // fleet through solve_barrier_batch — same-dimension dense Newton systems
+  // factor in lockstep across blocks, sparse blocks share one symbolic
+  // analysis per structure signature, chunks spread over the shared pool —
+  // then replay solve_block's result handling per block. Per-block results
+  // are bitwise identical to the sequential path.
+  void run_blocks_batched() {
+    SORA_TRACE_SPAN("admm/block_batch");
+    const solver::BlockSolveOptions opts = block_solve_options();
+    std::vector<solver::BarrierBatchItem> items;
+    std::vector<Block*> staged;
+    items.reserve(blocks.size());
+    staged.reserve(blocks.size());
+    for (Block& b : blocks) {
+      try {
+        solver::IpmOptions effective;
+        solver::IpmResult failure;
+        if (!b.barrier.prepare(b.anchor, opts, effective, failure)) {
+          record_block_result(b, failure);
+          continue;
+        }
+        solver::BarrierBatchItem item;
+        item.objective = b.objective.get();
+        item.g = &b.barrier.constraints();
+        item.h = &b.barrier.rhs();
+        item.x0 = &b.barrier.start();
+        item.options = effective;
+        item.scratch = b.barrier.scratch();
+        items.push_back(std::move(item));
+        staged.push_back(&b);
+      } catch (const std::exception& e) {
+        b.failed = true;
+        b.fail_detail = "block " + std::to_string(b.j) + ": " + e.what();
+      }
+    }
+    solver::solve_barrier_batch(items.data(), items.size());
+    for (std::size_t i = 0; i < staged.size(); ++i) {
+      Block& b = *staged[i];
+      const solver::BarrierBatchItem& item = items[i];
+      if (!item.error.empty()) {
+        // The batch equivalent of solve_block's catch branch.
+        b.failed = true;
+        b.fail_detail = "block " + std::to_string(b.j) + ": " + item.error;
+        continue;
+      }
+      b.barrier.commit(item.result);
+      record_block_result(b, item.result);
+    }
+  }
+
+  // Fan the block solves out — batched through solve_barrier_batch by
+  // default, per-block on the pool (guided chunking: SLA groups vary a lot
+  // in size, so on-demand chunks keep the largest group from serializing the
+  // tail) when batching is off, strictly serial when max_parallel_blocks ==
+  // 1 and batching is off. The batched path is bitwise identical to the
+  // serial baseline, so it stays on even for determinism runs.
   bool run_blocks(std::string& detail) {
-    const auto body = [this](std::size_t bi) { solve_block(blocks[bi]); };
-    if (options.decomposition.max_parallel_blocks == 1) {
-      for (std::size_t bi = 0; bi < blocks.size(); ++bi) body(bi);
+    if (options.decomposition.batch_block_solves && blocks.size() > 1) {
+      run_blocks_batched();
     } else {
-      util::parallel_for(0, blocks.size(), body, 1,
-                         util::ForSchedule::kGuided);
+      const auto body = [this](std::size_t bi) { solve_block(blocks[bi]); };
+      if (options.decomposition.max_parallel_blocks == 1) {
+        for (std::size_t bi = 0; bi < blocks.size(); ++bi) body(bi);
+      } else {
+        util::parallel_for(0, blocks.size(), body, 1,
+                           util::ForSchedule::kGuided);
+      }
     }
     for (const Block& b : blocks)
       if (b.failed) {

@@ -97,6 +97,15 @@ struct DecompositionOptions {
   // serial block loop (bitwise-reproducible baseline for determinism
   // tests); k > 1 currently behaves like 0.
   std::size_t max_parallel_blocks = 0;
+
+  // Batch the per-iteration block solves through solver::solve_barrier_batch:
+  // same-dimension dense Newton systems factor in lockstep across blocks
+  // (structure-of-arrays kernel the compiler vectorizes across the batch),
+  // and sparse blocks share one symbolic analysis per structure signature.
+  // Per-block results are bitwise identical to one-solve-per-block, so this
+  // composes with the max_parallel_blocks == 1 determinism baseline; disable
+  // only to time the sequential path.
+  bool batch_block_solves = true;
 };
 
 /// The kAuto selection heuristic (kForce/kOff short-circuit): true when the

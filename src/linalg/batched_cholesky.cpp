@@ -1,0 +1,151 @@
+#include "linalg/batched_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sora::linalg {
+
+void BatchedDenseCholesky::configure(std::size_t n, std::size_t batch) {
+  SORA_CHECK(batch > 0);
+  n_ = n;
+  batch_ = batch;
+  a_.resize(n * n * batch);
+  rhs_.resize(n * batch);
+  lane_.resize(batch);
+  inv_.resize(batch);
+  ok_.assign(batch, 0);
+}
+
+void BatchedDenseCholesky::pack(std::size_t b, const Matrix& a) {
+  SORA_CHECK(b < batch_ && a.rows() == n_ && a.cols() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* row = a.row_ptr(i);
+    for (std::size_t j = 0; j <= i; ++j) at(i, j)[b] = row[j];
+  }
+}
+
+// Mirrors cholesky_in_place (cholesky.cpp) with the batch index innermost.
+// Every lane executes the identical statement sequence in the identical
+// order, so each lane's factor is bitwise equal to the serial kernel's.
+// A lane whose pivot fails gets a 1.0 placeholder pivot (so the remaining
+// lockstep divisions stay finite for the other lanes) and ok_[b] = 0.
+void BatchedDenseCholesky::factor(const std::vector<char>& active) {
+  SORA_CHECK(active.size() == batch_);
+  const std::size_t n = n_;
+  const std::size_t bs = batch_;
+  ok_ = active;
+  double* const lane = lane_.data();
+  double* const inv = inv_.data();
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+    const std::size_t jend = std::min(j0 + kBlock, n);
+    // Diagonal block: unblocked factor of A[j0:jend, j0:jend].
+    for (std::size_t j = j0; j < jend; ++j) {
+      const double* jj = at(j, j);
+      for (std::size_t b = 0; b < bs; ++b) lane[b] = jj[b];
+      for (std::size_t k = j0; k < j; ++k) {
+        const double* jk = at(j, k);
+        for (std::size_t b = 0; b < bs; ++b) lane[b] -= jk[b] * jk[b];
+      }
+      double* ljj = at(j, j);
+      for (std::size_t b = 0; b < bs; ++b) {
+        if (ok_[b] == 0) {
+          ljj[b] = 1.0;
+          inv[b] = 0.0;
+          continue;
+        }
+        const double diag = lane[b];
+        if (!(diag > 0.0) || !std::isfinite(diag)) {
+          ok_[b] = 0;
+          ljj[b] = 1.0;
+          inv[b] = 0.0;
+          continue;
+        }
+        const double l = std::sqrt(diag);
+        ljj[b] = l;
+        inv[b] = 1.0 / l;
+      }
+      for (std::size_t i = j + 1; i < jend; ++i) {
+        double* ij = at(i, j);
+        for (std::size_t b = 0; b < bs; ++b) lane[b] = ij[b];
+        for (std::size_t k = j0; k < j; ++k) {
+          const double* ik = at(i, k);
+          const double* jk = at(j, k);
+          for (std::size_t b = 0; b < bs; ++b) lane[b] -= ik[b] * jk[b];
+        }
+        for (std::size_t b = 0; b < bs; ++b) ij[b] = lane[b] * inv[b];
+      }
+    }
+    // Panel: rows below the block solve L21 L11^T = A21.
+    for (std::size_t i = jend; i < n; ++i) {
+      for (std::size_t j = j0; j < jend; ++j) {
+        double* ij = at(i, j);
+        for (std::size_t b = 0; b < bs; ++b) lane[b] = ij[b];
+        for (std::size_t k = j0; k < j; ++k) {
+          const double* ik = at(i, k);
+          const double* jk = at(j, k);
+          for (std::size_t b = 0; b < bs; ++b) lane[b] -= ik[b] * jk[b];
+        }
+        const double* jj = at(j, j);
+        for (std::size_t b = 0; b < bs; ++b) ij[b] = lane[b] / jj[b];
+      }
+    }
+    // Trailing update: A22 -= L21 L21^T, lower triangle only.
+    for (std::size_t i = jend; i < n; ++i) {
+      for (std::size_t c = jend; c <= i; ++c) {
+        for (std::size_t b = 0; b < bs; ++b) lane[b] = 0.0;
+        for (std::size_t k = j0; k < jend; ++k) {
+          const double* ik = at(i, k);
+          const double* ck = at(c, k);
+          for (std::size_t b = 0; b < bs; ++b) lane[b] += ik[b] * ck[b];
+        }
+        double* ic = at(i, c);
+        for (std::size_t b = 0; b < bs; ++b) ic[b] -= lane[b];
+      }
+    }
+  }
+}
+
+void BatchedDenseCholesky::set_rhs(std::size_t b, const Vec& v) {
+  SORA_CHECK(b < batch_ && v.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) rhs_[i * batch_ + b] = v[i];
+}
+
+// Mirrors cholesky_solve_in_place: forward L y = b, backward L^T x = y,
+// batch index innermost, identical per-lane statement order.
+void BatchedDenseCholesky::solve() {
+  const std::size_t n = n_;
+  const std::size_t bs = batch_;
+  double* const lane = lane_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* xi = rhs_.data() + i * bs;
+    for (std::size_t b = 0; b < bs; ++b) lane[b] = xi[b];
+    for (std::size_t k = 0; k < i; ++k) {
+      const double* lik = at(i, k);
+      const double* xk = rhs_.data() + k * bs;
+      for (std::size_t b = 0; b < bs; ++b) lane[b] -= lik[b] * xk[b];
+    }
+    const double* lii = at(i, i);
+    for (std::size_t b = 0; b < bs; ++b) xi[b] = lane[b] / lii[b];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* xi = rhs_.data() + ii * bs;
+    for (std::size_t b = 0; b < bs; ++b) lane[b] = xi[b];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      const double* lki = at(k, ii);
+      const double* xk = rhs_.data() + k * bs;
+      for (std::size_t b = 0; b < bs; ++b) lane[b] -= lki[b] * xk[b];
+    }
+    const double* lii = at(ii, ii);
+    for (std::size_t b = 0; b < bs; ++b) xi[b] = lane[b] / lii[b];
+  }
+}
+
+void BatchedDenseCholesky::get_rhs(std::size_t b, Vec& v) const {
+  SORA_CHECK(b < batch_ && v.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) v[i] = rhs_[i * batch_ + b];
+}
+
+}  // namespace sora::linalg

@@ -1,0 +1,85 @@
+// Structure-of-arrays batched dense Cholesky for fleets of small
+// same-dimension SPD systems — the per-block Newton solves of the
+// decomposed P2, where each ADMM block is a handful of edges and the
+// Newton matrix is ~10-50 wide. Factoring them one at a time leaves the
+// vector units idle (the rows are shorter than a cache line); interleaving
+// N instances so the innermost loop runs across the batch turns every
+// scalar statement of the serial kernel into a width-N vector statement
+// that SORA_NATIVE auto-vectorizes.
+//
+// The arithmetic per instance mirrors the serial `cholesky_in_place` /
+// `cholesky_solve_in_place` statement for statement: same blocked loop
+// structure, same operand order, same multiply-by-reciprocal vs divide
+// choices. A batched factor+solve of instance b is therefore bitwise
+// identical to running the serial kernel on that instance alone, which is
+// what lets the decomposed P2 swap its sequential per-block path for the
+// batched one without perturbing goldens or determinism suites.
+//
+// Failure handling: the serial kernel returns false at the first
+// non-positive pivot. Lockstep execution cannot early-out one lane, so a
+// failed instance is masked — its remaining values are garbage, ok(b)
+// turns false, and the caller re-runs that instance through the serial
+// regularized factor (which retries shift 0 first, reproducing the exact
+// sequential semantics).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace sora::linalg {
+
+class BatchedDenseCholesky {
+ public:
+  /// Size the arena for `batch` instances of dimension n. Reuses storage
+  /// across calls; values are not cleared (every active instance must be
+  /// pack()ed before each factor()).
+  void configure(std::size_t n, std::size_t batch);
+
+  std::size_t dim() const { return n_; }
+  std::size_t batch() const { return batch_; }
+
+  /// Copy instance b's matrix into the arena (lower triangle + diagonal;
+  /// the strict upper triangle is never read, matching the serial kernel).
+  void pack(std::size_t b, const Matrix& a);
+
+  /// Lockstep factor of the instances with active[b] != 0. Instances whose
+  /// pivot goes non-positive (or non-finite) are masked out mid-factor and
+  /// report ok(b) == false; all other instances hold the same bits the
+  /// serial kernel would have produced.
+  void factor(const std::vector<char>& active);
+
+  bool ok(std::size_t b) const { return ok_[b] != 0; }
+
+  /// Stage instance b's right-hand side for the batched solve.
+  void set_rhs(std::size_t b, const Vec& v);
+
+  /// Lockstep forward/backward triangular solve over the whole batch.
+  /// Lanes that failed factor() (or were inactive) produce garbage that
+  /// callers must not read back — arithmetic on them is masked by the 1.0
+  /// placeholder pivots, never by branches, so the hot loops stay straight
+  /// vector code.
+  void solve();
+
+  /// Read back instance b's solution after solve().
+  void get_rhs(std::size_t b, Vec& v) const;
+
+ private:
+  double* at(std::size_t i, std::size_t j) {
+    return a_.data() + (i * n_ + j) * batch_;
+  }
+  const double* at(std::size_t i, std::size_t j) const {
+    return a_.data() + (i * n_ + j) * batch_;
+  }
+
+  std::size_t n_ = 0;
+  std::size_t batch_ = 0;
+  std::vector<double> a_;     // interleaved: a_[(i*n+j)*batch + b]
+  std::vector<double> rhs_;   // interleaved: rhs_[i*batch + b]
+  std::vector<double> lane_;  // width-batch scratch (accumulators)
+  std::vector<double> inv_;   // per-lane 1/l_jj within the diagonal block
+  std::vector<char> ok_;
+};
+
+}  // namespace sora::linalg

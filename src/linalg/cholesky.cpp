@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sora::linalg {
 namespace {
@@ -44,8 +45,13 @@ bool cholesky_in_place(Matrix& a) {
         irow[j] = v / jrow[j];
       }
     }
-    // Trailing update: A22 -= L21 L21^T, lower triangle only.
-    for (std::size_t i = jend; i < n; ++i) {
+    // Trailing update: A22 -= L21 L21^T, lower triangle only. Row i writes
+    // only columns [jend, i] of row i and reads only the already-final panel
+    // columns [j0, jend) of rows <= i, so rows update independently; large
+    // trailing blocks fan out over the shared pool. Each entry's dot product
+    // is the identical statement sequence either way — the factor is bitwise
+    // the same at any thread count.
+    const auto update_row = [&a, j0, jend](std::size_t i) {
       double* irow = a.row_ptr(i);
       for (std::size_t c = jend; c <= i; ++c) {
         const double* crow = a.row_ptr(c);
@@ -53,6 +59,13 @@ bool cholesky_in_place(Matrix& a) {
         for (std::size_t k = j0; k < jend; ++k) s += irow[k] * crow[k];
         irow[c] -= s;
       }
+    };
+    constexpr std::size_t kParallelTrailingRows = 192;
+    if (n - jend >= kParallelTrailingRows) {
+      util::parallel_for(jend, n, update_row, 16,
+                         util::ForSchedule::kGuided);
+    } else {
+      for (std::size_t i = jend; i < n; ++i) update_row(i);
     }
   }
   // Zero the strict upper triangle so the factor is clean.

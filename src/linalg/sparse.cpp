@@ -65,6 +65,28 @@ SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double drop_tol) {
   return m;
 }
 
+SparseMatrix SparseMatrix::transpose() const {
+  SparseMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_offsets_.assign(cols_ + 1, 0);
+  for (const std::size_t c : col_indices_) ++t.row_offsets_[c + 1];
+  for (std::size_t c = 0; c < cols_; ++c)
+    t.row_offsets_[c + 1] += t.row_offsets_[c];
+  t.col_indices_.resize(values_.size());
+  t.values_.resize(values_.size());
+  std::vector<std::size_t> next(t.row_offsets_.begin(),
+                                t.row_offsets_.end() - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const std::size_t slot = next[col_indices_[k]]++;
+      t.col_indices_[slot] = r;
+      t.values_[slot] = values_[k];
+    }
+  }
+  return t;
+}
+
 Vec SparseMatrix::multiply(const Vec& x) const {
   Vec y(rows_, 0.0);
   multiply_into(x, y);

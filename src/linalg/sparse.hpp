@@ -46,6 +46,12 @@ class SparseMatrix {
   std::size_t cols() const { return cols_; }
   std::size_t nonzeros() const { return values_.size(); }
 
+  /// A^T as its own CSR matrix. One counting pass + one scatter pass over
+  /// the nonzeros; column indices within each output row come out sorted.
+  /// The first-order solvers keep an explicit transpose so both A x and
+  /// A^T y run as sequential row-gather loops instead of a scatter.
+  SparseMatrix transpose() const;
+
   /// y = A x
   Vec multiply(const Vec& x) const;
   /// y = A^T x

@@ -25,9 +25,9 @@ double BlockBarrier::min_slack(const linalg::Vec& v) {
   return m;
 }
 
-IpmResult BlockBarrier::solve(const ConvexObjective& objective,
-                              const linalg::Vec& anchor,
-                              const BlockSolveOptions& options) {
+bool BlockBarrier::prepare(const linalg::Vec& anchor,
+                           const BlockSolveOptions& options,
+                           IpmOptions& effective, IpmResult& failure) {
   SORA_CHECK_MSG(anchor.size() == g_.cols(), "block anchor size mismatch");
 
   bool warm = false;
@@ -47,27 +47,39 @@ IpmResult BlockBarrier::solve(const ConvexObjective& objective,
   }
   if (!warm) {
     if (min_slack(anchor) <= 0.0) {
-      IpmResult failed;
-      failed.status = SolveStatus::kNumericalError;
-      failed.detail = "block anchor not strictly interior";
-      return failed;
+      failure = IpmResult{};
+      failure.status = SolveStatus::kNumericalError;
+      failure.detail = "block anchor not strictly interior";
+      return false;
     }
     start_ = anchor;
   }
 
-  IpmOptions ipm = options.ipm;
+  effective = options.ipm;
   if (warm) {
     // Near-optimal starts waste outer iterations re-climbing from t0; jump
     // the barrier multiplier so the first center is already within a modest
     // gap of the warm point (mirrors core/p2_subproblem).
-    ipm.t0 = std::max(ipm.t0, static_cast<double>(g_.rows()) / 1e-2);
+    effective.t0 = std::max(effective.t0, static_cast<double>(g_.rows()) / 1e-2);
   }
+  return true;
+}
 
-  IpmResult result = solve_barrier(objective, g_, h_, start_, ipm, &scratch_);
+void BlockBarrier::commit(const IpmResult& result) {
   if (result.ok()) {
     last_opt_ = result.x;
     has_last_ = true;
   }
+}
+
+IpmResult BlockBarrier::solve(const ConvexObjective& objective,
+                              const linalg::Vec& anchor,
+                              const BlockSolveOptions& options) {
+  IpmOptions ipm;
+  IpmResult failed;
+  if (!prepare(anchor, options, ipm, failed)) return failed;
+  IpmResult result = solve_barrier(objective, g_, h_, start_, ipm, &scratch_);
+  commit(result);
   return result;
 }
 

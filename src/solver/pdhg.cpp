@@ -109,12 +109,23 @@ class Pdhg {
       if (col_sums[j] > 1e-12) tau_[j] = 1.0 / col_sums[j];
     for (std::size_t r = 0; r < m_; ++r)
       if (row_sums[r] > 1e-12) sigma_[r] = 1.0 / row_sums[r];
+    inv_sigma_.assign(m_, 1.0);
+    for (std::size_t r = 0; r < m_; ++r) inv_sigma_[r] = 1.0 / sigma_[r];
+
+    // Explicit transpose: A^T y as a row-gather loop over A^T's CSR instead
+    // of a scatter over A's. Both matvecs in step() then stream the value
+    // and index arrays sequentially.
+    at_ = scaled_.a.transpose();
 
     // Preallocated step buffers: the step loop is allocation-free.
     aty_.assign(n_, 0.0);
     xnew_.assign(n_, 0.0);
     xbar_.assign(n_, 0.0);
     ax_.assign(m_, 0.0);
+    kkt_x_.assign(n_, 0.0);
+    kkt_aty_.assign(n_, 0.0);
+    kkt_y_.assign(m_, 0.0);
+    kkt_ax_.assign(m_, 0.0);
 
     // Termination is measured in the ORIGINAL space (scaled-space residuals
     // can look tiny while the unscaled point is far from optimal).
@@ -135,10 +146,13 @@ class Pdhg {
     project_box(x);
 
     Vec x_avg = x, y_avg = y;
+    Vec x_anchor = x, y_anchor = y;  // iterate at the last restart
     std::size_t avg_count = 0;
     double last_restart_error = kInf;
     double prev_check_error = kInf;
     std::uint64_t restarts = 0;
+    std::uint64_t weight_updates = 0;
+    double omega = 1.0;
     KktError best_err;
     Vec best_x = x, best_y = y;
     double best_total = kInf;
@@ -196,6 +210,38 @@ class Pdhg {
           x = x_avg;
           y = y_avg;
         }
+        // Adaptive primal weight: steer the primal/dual step split toward
+        // the observed movement ratio over the finished restart epoch. The
+        // update happens only at restart boundaries (each restart is a
+        // fresh PDHG run, so changing the step diagonals is legal), in log
+        // space with smoothing, and clamped — the failure mode of naive
+        // per-epoch rebalancing is the weight running away and freezing the
+        // side that still has complementarity slack to burn off.
+        if (options_.adaptive_weight) {
+          double dx2 = 0.0, dy2 = 0.0;
+          for (std::size_t j = 0; j < n_; ++j) {
+            const double d = x[j] - x_anchor[j];
+            dx2 += d * d;
+          }
+          for (std::size_t r = 0; r < m_; ++r) {
+            const double d = y[r] - y_anchor[r];
+            dy2 += d * d;
+          }
+          if (dx2 > 1e-24 && dy2 > 1e-24) {
+            const double theta = options_.weight_smoothing;
+            const double target = 0.5 * std::log(dy2 / dx2);
+            const double next = clamp_to(
+                std::exp(theta * target + (1.0 - theta) * std::log(omega)),
+                options_.weight_min, options_.weight_max);
+            if (next != omega) {
+              rebalance(next / omega);
+              omega = next;
+              ++weight_updates;
+            }
+          }
+        }
+        x_anchor = x;
+        y_anchor = y;
         x_avg = x;
         y_avg = y;
         avg_count = 0;
@@ -204,9 +250,12 @@ class Pdhg {
       }
     }
 
-    // Prefer the best recorded iterate if the loop exhausted iterations.
+    // Prefer the best recorded iterate if the loop exhausted iterations —
+    // but never trade a converged point away for a lower *total* that fails
+    // the per-component test (total sums the three residuals, so a point
+    // with a smaller sum can still violate one tolerance).
     KktError final_err = kkt_error(x, y);
-    if (final_err.total() > best_total) {
+    if (!converged(final_err) && final_err.total() > best_total) {
       x = best_x;
       y = best_y;
       final_err = best_err;
@@ -219,6 +268,9 @@ class Pdhg {
       struct PdhgMetrics {
         obs::Histogram* iterations;
         obs::Counter* restarts;
+        obs::Counter* weight_updates;
+        obs::Gauge* primal_weight;
+        obs::Histogram* precond_range;
       };
       static const PdhgMetrics metrics = [] {
         auto& reg = obs::Registry::global();
@@ -228,10 +280,28 @@ class Pdhg {
                            obs::exponential_buckets(16.0, 2.0, 16)),
             &reg.counter("sora_pdhg_restarts_total",
                          "Adaptive restarts across all PDHG solves"),
+            &reg.counter("sora_pdhg_weight_updates_total",
+                         "Adaptive primal-weight rebalances at restarts"),
+            &reg.gauge("sora_pdhg_primal_weight",
+                       "Final primal weight omega of the last PDHG solve"),
+            &reg.histogram(
+                "sora_pdhg_precond_range", "ratio",
+                "max/min ratio of the diagonal primal step sizes "
+                "(preconditioner spread) per solve",
+                obs::exponential_buckets(1.0, 2.0, 20)),
         };
       }();
       metrics.iterations->observe(static_cast<double>(iter));
       metrics.restarts->inc(restarts);
+      metrics.weight_updates->inc(weight_updates);
+      metrics.primal_weight->set(omega);
+      double tau_min = kInf, tau_max = 0.0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        tau_min = std::min(tau_min, tau_[j]);
+        tau_max = std::max(tau_max, tau_[j]);
+      }
+      if (n_ > 0 && tau_min > 0.0)
+        metrics.precond_range->observe(tau_max / tau_min);
     }
     const bool accepted =
         converged(final_err) ||
@@ -259,14 +329,11 @@ class Pdhg {
   }
 
   // One PDHG step: x <- proj(x - T (c + A^T y)); y <- prox(y + S A xbar),
-  // with T = diag(tau_) and S = diag(sigma_). There is no scalar primal
-  // weight on top: the preconditioner already balances the two spaces, and
-  // experiments with rebalancing a weight at restarts (from residual ratios
-  // or from epoch movement, PDLP-style) consistently stalled the tail on
-  // covering LPs — the weight drifts away from 1 and freezes the side that
-  // still has complementarity slack to burn off.
+  // with T = diag(tau_) and S = diag(sigma_). The adaptive primal weight is
+  // already folded into tau_/sigma_ by rebalance(); both matvecs are
+  // row-gather loops (A^T y runs over the explicit transpose at_).
   void step(Vec& x, Vec& y) {
-    scaled_.a.multiply_transpose_into(y, aty_);
+    at_.multiply_into(y, aty_);
     for (std::size_t j = 0; j < n_; ++j) {
       xnew_[j] = clamp_to(x[j] - tau_[j] * (scaled_.c[j] + aty_[j]),
                           scaled_.var_lower[j], scaled_.var_upper[j]);
@@ -275,19 +342,33 @@ class Pdhg {
 
     scaled_.a.multiply_into(xbar_, ax_);
     for (std::size_t r = 0; r < m_; ++r) {
-      const double sigma = sigma_[r];
-      const double v = y[r] + sigma * ax_[r];
+      const double v = y[r] + sigma_[r] * ax_[r];
       // prox of the support function of [l, u]: v - sigma * proj_[l,u](v/sigma)
-      const double z = clamp_to(v / sigma, scaled_.row_lower[r],
+      const double z = clamp_to(v * inv_sigma_[r], scaled_.row_lower[r],
                                 scaled_.row_upper[r]);
-      y[r] = v - sigma * z;
+      y[r] = v - sigma_[r] * z;
     }
     x.swap(xnew_);
   }
 
+  // Fold a primal-weight change into the step diagonals: tau / ratio,
+  // sigma * ratio. The product tau_j * sigma_r is invariant, so the
+  // Pock–Chambolle bound ||S^1/2 A T^1/2|| <= 1 keeps holding.
+  void rebalance(double ratio) {
+    const double inv = 1.0 / ratio;
+    for (std::size_t j = 0; j < n_; ++j) tau_[j] *= inv;
+    for (std::size_t r = 0; r < m_; ++r) {
+      sigma_[r] *= ratio;
+      inv_sigma_[r] *= inv;
+    }
+  }
+
   // KKT residuals of the UNSCALED point corresponding to scaled (x, y).
-  KktError kkt_error(const Vec& x_scaled, const Vec& y_scaled) const {
-    Vec x(n_), y(m_);
+  // Uses the preallocated kkt_* scratch (checked every
+  // restart_check_interval iterations, so it should not allocate).
+  KktError kkt_error(const Vec& x_scaled, const Vec& y_scaled) {
+    Vec& x = kkt_x_;
+    Vec& y = kkt_y_;
     for (std::size_t j = 0; j < n_; ++j)
       x[j] = x_scaled[j] * scaled_.col_scale[j];
     for (std::size_t r = 0; r < m_; ++r)
@@ -295,7 +376,8 @@ class Pdhg {
 
     KktError e;
     // Primal: distance of Ax to [l, u].
-    const Vec ax = model_.a.multiply(x);
+    model_.a.multiply_into(x, kkt_ax_);
+    const Vec& ax = kkt_ax_;
     double p2 = 0.0;
     for (std::size_t r = 0; r < m_; ++r) {
       double v = 0.0;
@@ -311,7 +393,8 @@ class Pdhg {
     // Dual residual and dual objective. d = c + A^T y is the gradient in x;
     // a positive component is explainable iff the variable has a finite
     // lower bound (x sits there), a negative one iff a finite upper bound.
-    const Vec aty = model_.a.multiply_transpose(y);
+    model_.a.multiply_transpose_into(y, kkt_aty_);
+    const Vec& aty = kkt_aty_;
     double d2 = 0.0;
     double bound_term = 0.0;
     for (std::size_t j = 0; j < n_; ++j) {
@@ -356,13 +439,16 @@ class Pdhg {
   PdhgOptions options_;
   const LpModel& model_;
   ScaledProblem scaled_;
+  SparseMatrix at_;  // explicit transpose of the scaled matrix
   std::size_t n_ = 0;
   std::size_t m_ = 0;
   double c_norm_ = 0.0;
   double rhs_norm_ = 0.0;
-  Vec tau_;    // per-variable primal step scale
-  Vec sigma_;  // per-row dual step scale
-  Vec aty_, xnew_, xbar_, ax_;  // step() scratch, sized once
+  Vec tau_;        // per-variable primal step scale (omega folded in)
+  Vec sigma_;      // per-row dual step scale (omega folded in)
+  Vec inv_sigma_;  // 1 / sigma_, kept in lockstep by rebalance()
+  Vec aty_, xnew_, xbar_, ax_;           // step() scratch, sized once
+  Vec kkt_x_, kkt_y_, kkt_ax_, kkt_aty_;  // kkt_error() scratch
 };
 
 }  // namespace

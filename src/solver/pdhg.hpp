@@ -1,10 +1,13 @@
 // First-order LP solver: primal-dual hybrid gradient (Chambolle–Pock) with
 // the standard large-scale-LP refinements popularized by PDLP:
 //   * Ruiz equilibration of the constraint matrix,
-//   * power-iteration estimate of ||A||_2 for the step sizes,
+//   * Pock–Chambolle diagonal preconditioning (per-column primal and per-row
+//     dual steps from the absolute row/column sums — no spectral estimate),
 //   * iterate averaging with adaptive restarts (restart to the better of the
 //     current iterate and the running average when the KKT error halves),
-//   * primal-weight rebalancing between primal and dual step sizes.
+//   * adaptive primal-weight rebalancing between the primal and dual step
+//     diagonals, driven by the movement ratio between restarts,
+//   * an explicit CSR transpose so both matvecs are row-gather loops.
 //
 // Solves the same canonical form as the simplex:
 //   min c^T x   s.t.  row_lower <= A x <= row_upper, var_lower <= x <= var_upper.
@@ -32,6 +35,16 @@ struct PdhgOptions {
   double accept_factor = 1.0;
   std::size_t restart_check_interval = 160;
   std::size_t ruiz_iterations = 10;
+  // Adaptive primal weight omega: at each restart the primal/dual step
+  // diagonals are rebalanced toward the observed dual/primal movement ratio
+  // (log-space smoothing `weight_smoothing`, clamped to
+  // [weight_min, weight_max]). tau_j <- tau_j / omega, sigma_r <- sigma_r *
+  // omega keeps ||S^1/2 A T^1/2|| <= 1, so every restart is a valid fresh
+  // start. Disable to recover the fixed Pock–Chambolle diagonals.
+  bool adaptive_weight = true;
+  double weight_smoothing = 0.5;
+  double weight_min = 1e-2;
+  double weight_max = 1e2;
   bool log_progress = false;
 };
 

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #include "cloudnet/instance.hpp"
 #include "cloudnet/workload.hpp"
@@ -188,6 +189,76 @@ TEST(P2Decomposed, SerialAndPooledBitwiseIdentical) {
   EXPECT_EQ(a.cost.total(), b.cost.total());
 }
 
+// The batched per-block Newton kernel (solver::solve_barrier_batch) must be
+// bitwise invisible: with identical options apart from the switch, every
+// slot of every regime comes out bit-for-bit the same as the sequential
+// per-block path. Checked across all six generator regimes so degenerate
+// structures (dead blocks, saturated capacities, price ties) hit the
+// lockstep escalation paths too.
+
+TEST(P2Decomposed, BatchedBlockSolvesBitwiseMatchSequentialAcrossRegimes) {
+  for (const testing::Regime regime : testing::kAllRegimes) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      testing::GeneratorConfig cfg;
+      cfg.regime = regime;
+      cfg.seed = seed;
+      SCOPED_TRACE(cfg.describe());
+      const Instance inst = testing::generate_instance(cfg);
+
+      RoaOptions batched = forced_options();
+      batched.decomposition.batch_block_solves = true;
+      RoaOptions sequential = forced_options();
+      sequential.decomposition.batch_block_solves = false;
+
+      const RoaRun a = run_roa(inst, batched);
+      const RoaRun b = run_roa(inst, sequential);
+
+      ASSERT_EQ(a.trajectory.horizon(), b.trajectory.horizon());
+      for (std::size_t t = 0; t < a.trajectory.horizon(); ++t) {
+        for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+          EXPECT_EQ(a.trajectory.slots[t].x[e], b.trajectory.slots[t].x[e])
+              << "x_" << e << " at slot " << t;
+          EXPECT_EQ(a.trajectory.slots[t].y[e], b.trajectory.slots[t].y[e])
+              << "y_" << e << " at slot " << t;
+        }
+      }
+      EXPECT_EQ(a.cost.total(), b.cost.total());
+      ASSERT_EQ(a.slot_health.size(), b.slot_health.size());
+      for (std::size_t t = 0; t < a.slot_health.size(); ++t) {
+        EXPECT_EQ(a.slot_health[t].backend, b.slot_health[t].backend)
+            << "slot " << t;
+        EXPECT_EQ(a.slot_health[t].attempts, b.slot_health[t].attempts)
+            << "slot " << t;
+      }
+    }
+  }
+}
+
+TEST(P2Decomposed, BatchedComposesWithSerialDeterminismBaseline) {
+  // batch_block_solves is documented to compose with the
+  // max_parallel_blocks == 1 bitwise baseline: all four combinations of
+  // {batched, serial-loop} must agree exactly.
+  const Instance inst = make_instance(4, 12, 2, 2, 91);
+
+  RoaOptions opts[4];
+  for (int k = 0; k < 4; ++k) {
+    opts[k] = forced_options();
+    opts[k].decomposition.batch_block_solves = (k & 1) != 0;
+    opts[k].decomposition.max_parallel_blocks = (k & 2) != 0 ? 1 : 0;
+  }
+  const RoaRun ref = run_roa(inst, opts[0]);
+  for (int k = 1; k < 4; ++k) {
+    SCOPED_TRACE(k);
+    const RoaRun run = run_roa(inst, opts[k]);
+    ASSERT_EQ(run.trajectory.horizon(), ref.trajectory.horizon());
+    for (std::size_t t = 0; t < ref.trajectory.horizon(); ++t)
+      for (std::size_t e = 0; e < inst.num_edges(); ++e)
+        EXPECT_EQ(run.trajectory.slots[t].x[e], ref.trajectory.slots[t].x[e])
+            << "x_" << e << " at slot " << t;
+    EXPECT_EQ(run.cost.total(), ref.cost.total());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Demotion paths: the decomposed attempt must never take the run down.
 
@@ -234,6 +305,37 @@ TEST(P2Decomposed, InjectedFaultFallsBackOnThatSlotOnly) {
 
   const auto report =
       testing::check_trajectory(inst, dec.trajectory, {});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(P2Decomposed, BatchedSolvesDemoteThroughFallbackChain) {
+  // With the batched kernel explicitly on, an injected block fault must
+  // still walk the slot down the resilience chain — batching stages and
+  // commits per-block results but never changes the failure routing.
+  const Instance inst = make_instance(4, 10, 2, 3, 37);
+
+  set_fault_hook([](std::size_t slot, std::size_t attempt) {
+    return (slot == 2 && attempt == 0) ? FaultKind::kIterationLimit
+                                       : FaultKind::kNone;
+  });
+  RoaOptions opt = forced_options();
+  opt.decomposition.batch_block_solves = true;
+  const RoaRun dec = run_roa(inst, opt);
+  set_fault_hook({});
+
+  ASSERT_EQ(dec.slot_health.size(), inst.horizon);
+  for (const SlotHealth& h : dec.slot_health) {
+    EXPECT_EQ(h.status, solver::SolveStatus::kOptimal) << "slot " << h.slot;
+    if (h.slot == 2) {
+      EXPECT_NE(h.backend, SolveBackend::kDecomposedAdmm);
+      EXPECT_GE(h.attempts, 2u);
+    } else {
+      EXPECT_EQ(h.backend, SolveBackend::kDecomposedAdmm) << "slot " << h.slot;
+      EXPECT_EQ(h.attempts, 1u) << "slot " << h.slot;
+    }
+  }
+
+  const auto report = testing::check_trajectory(inst, dec.trajectory, {});
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
